@@ -1,0 +1,319 @@
+(* The APE command-line tool.
+
+     ape opamp --gain 200 --ugf 2meg [--buffer --zout 1k --wilson]
+                [--verify] [--netlist]
+     ape module (lpf|bpf|sh|adc|dac|amp|comparator) [options] [--verify]
+     ape synth --gain 200 --ugf 2meg [--mode standalone|ape] [--seed N]
+     ape sim FILE.sp [--out NODE] [--ac]
+     ape vase FILE.scm
+
+   Numbers accept SPICE suffixes (2meg, 10u, 4.7k). *)
+
+module E = Ape_estimator
+module S = Ape_synth
+let proc = Ape_process.Process.c12
+let pf = Printf.printf
+let eng = Ape_util.Units.to_eng
+
+let number_conv =
+  let parse s =
+    match Ape_symbolic.Parser.parse_number s with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("not a number: " ^ s))
+  in
+  Cmdliner.Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+open Cmdliner
+
+(* ---------- shared arguments ---------- *)
+
+let gain_arg =
+  Arg.(required & opt (some number_conv) None & info [ "gain" ] ~doc:"DC gain requirement.")
+
+let ugf_arg =
+  Arg.(
+    required
+    & opt (some number_conv) None
+    & info [ "ugf" ] ~doc:"Unity-gain frequency requirement (Hz).")
+
+let ibias_arg =
+  Arg.(
+    value & opt number_conv 1e-6
+    & info [ "ibias" ] ~doc:"Bias reference current (A).")
+
+let cl_arg =
+  Arg.(value & opt number_conv 10e-12 & info [ "cl" ] ~doc:"Load capacitance (F).")
+
+let buffer_arg =
+  Arg.(value & flag & info [ "buffer" ] ~doc:"Include an output buffer.")
+
+let zout_arg =
+  Arg.(
+    value & opt (some number_conv) None
+    & info [ "zout" ] ~doc:"Output impedance requirement (Ohm).")
+
+let wilson_arg =
+  Arg.(value & flag & info [ "wilson" ] ~doc:"Wilson tail current source.")
+
+let cascode_arg =
+  Arg.(value & flag & info [ "cascode" ] ~doc:"Cascode tail current source.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ] ~doc:"Also simulate the sized design (MNA).")
+
+let netlist_arg =
+  Arg.(value & flag & info [ "netlist" ] ~doc:"Print the elaborated SPICE netlist.")
+
+let topology buffer wilson cascode zout =
+  let bias =
+    if wilson then E.Bias.Wilson
+    else if cascode then E.Bias.Cascode
+    else E.Bias.Simple
+  in
+  (buffer, bias, zout)
+
+let print_perf label p = pf "%s: %s\n" label (Format.asprintf "%a" E.Perf.pp p)
+
+(* ---------- ape opamp ---------- *)
+
+let opamp_cmd =
+  let run gain ugf ibias cl buffer zout wilson cascode verify netlist =
+    let buffer, bias, zout = topology buffer wilson cascode zout in
+    match
+      E.Opamp.design proc
+        (E.Opamp.spec ~buffer ?zout ~bias_topology:bias ~cl ~av:gain ~ugf
+           ~ibias ())
+    with
+    | exception E.Opamp.Infeasible msg ->
+      pf "infeasible: %s\n" msg;
+      exit 1
+    | d ->
+      pf "topology: %s\n" (E.Opamp.describe d);
+      print_perf "estimate" d.E.Opamp.perf;
+      if verify then print_perf "simulated" (E.Verify.sim_opamp proc d);
+      if netlist then begin
+        let frag = E.Opamp.fragment proc d in
+        print_string (Ape_circuit.Netlist.to_spice frag.E.Fragment.netlist)
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "opamp" ~doc:"Size and estimate an operational amplifier.")
+    Term.(
+      const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
+      $ zout_arg $ wilson_arg $ cascode_arg $ verify_arg $ netlist_arg)
+
+(* ---------- ape module ---------- *)
+
+let module_cmd =
+  let kind_arg =
+    let doc = "Module kind: lpf, bpf, sh, adc, dac, amp, comparator." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc)
+  in
+  let order_arg =
+    Arg.(value & opt int 4 & info [ "order" ] ~doc:"Filter order (even).")
+  in
+  let fc_arg =
+    Arg.(value & opt number_conv 1e3 & info [ "fc" ] ~doc:"Corner/centre frequency (Hz).")
+  in
+  let g_arg =
+    Arg.(value & opt number_conv 2. & info [ "gain" ] ~doc:"Gain requirement.")
+  in
+  let bw_arg =
+    Arg.(value & opt number_conv 20e3 & info [ "bw" ] ~doc:"Bandwidth requirement (Hz).")
+  in
+  let bits_arg =
+    Arg.(value & opt int 4 & info [ "bits" ] ~doc:"Converter resolution.")
+  in
+  let delay_arg =
+    Arg.(value & opt number_conv 5e-6 & info [ "delay" ] ~doc:"Delay/settling requirement (s).")
+  in
+  let run kind order fc gain bw bits delay verify netlist =
+    let spec =
+      match kind with
+      | "lpf" -> E.Module_lib.Lowpass_m { E.Filter.order; f_cutoff = fc; r_base = 1e6 }
+      | "bpf" ->
+        E.Module_lib.Bandpass_m
+          { E.Filter.f_center = fc; q = 1.; gain = Float.min gain 1.8; c_base = 10e-9 }
+      | "sh" ->
+        E.Module_lib.Sample_hold_m
+          (E.Sample_hold.spec ~gain ~bandwidth:bw ~sr:1e4 ())
+      | "adc" ->
+        E.Module_lib.Flash_adc_m (E.Data_conv.Flash_adc.spec ~bits ~delay ())
+      | "dac" -> E.Module_lib.Dac_m (E.Data_conv.Dac.spec ~bits ~settling:delay ())
+      | "amp" -> E.Module_lib.Audio_amp { gain; bandwidth = bw }
+      | "comparator" ->
+        E.Module_lib.Comparator_m (E.Data_conv.Comparator.spec ~delay ())
+      | other ->
+        pf "unknown module kind %s\n" other;
+        exit 1
+    in
+    let d = E.Module_lib.design proc spec in
+    pf "module: %s\n" (E.Module_lib.name d);
+    print_perf "estimate" (E.Module_lib.perf d);
+    if verify then begin
+      let sim = E.Verify.sim_module proc d in
+      print_perf "simulated" sim.E.Verify.perf;
+      (match sim.E.Verify.response_time with
+      | Some t -> pf "response/delay: %ss\n" (eng t)
+      | None -> ());
+      match sim.E.Verify.f0 with
+      | Some f -> pf "f0: %sHz\n" (eng f)
+      | None -> ()
+    end;
+    if netlist then begin
+      let frag = E.Module_lib.fragment proc d in
+      print_string (Ape_circuit.Netlist.to_spice frag.E.Fragment.netlist)
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "module" ~doc:"Size and estimate a level-4 analog module.")
+    Term.(
+      const run $ kind_arg $ order_arg $ fc_arg $ g_arg $ bw_arg $ bits_arg
+      $ delay_arg $ verify_arg $ netlist_arg)
+
+(* ---------- ape synth ---------- *)
+
+let synth_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("standalone", `Standalone); ("ape", `Ape) ]) `Ape
+      & info [ "mode" ] ~doc:"standalone (wide intervals) or ape (+/-20%).")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let area_arg =
+    Arg.(
+      value & opt (some number_conv) None
+      & info [ "area" ]
+          ~doc:"Gate-area budget (m^2); default 1.3x the APE estimate.")
+  in
+  let run gain ugf ibias cl buffer zout wilson cascode mode seed area =
+    let buffer, bias, zout = topology buffer wilson cascode zout in
+    let proto =
+      {
+        S.Opamp_problem.name = "cli";
+        gain;
+        ugf;
+        area = 1.;
+        ibias;
+        curr_src = bias;
+        buffer;
+        zout;
+        cl;
+      }
+    in
+    let ape = S.Opamp_problem.ape_design proc proto in
+    let area =
+      match area with
+      | Some a -> a
+      | None -> 1.3 *. ape.E.Opamp.perf.E.Perf.gate_area
+    in
+    let row = { proto with S.Opamp_problem.area = area } in
+    let mode =
+      match mode with
+      | `Standalone -> S.Opamp_problem.Wide
+      | `Ape -> S.Opamp_problem.Ape_centered 0.2
+    in
+    let rng = Ape_util.Rng.create seed in
+    let r = S.Driver.run ~rng proc ~mode row in
+    pf "%s\n" r.S.Driver.comment;
+    pf "gain=%s ugf=%s area=%.0f um^2 power=%s (%d evaluations, %.2f s)\n"
+      (match r.S.Driver.gain with Some g -> Printf.sprintf "%.1f" g | None -> "-")
+      (match r.S.Driver.ugf with Some u -> eng u | None -> "-")
+      (r.S.Driver.area /. 1e-12)
+      (eng r.S.Driver.power)
+      r.S.Driver.stats.S.Anneal.evaluations r.S.Driver.stats.S.Anneal.seconds;
+    List.iter (fun (k, v) -> pf "  %-12s %s\n" k (eng v)) r.S.Driver.best_values;
+    if r.S.Driver.meets_spec then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesise an opamp by simulated annealing.")
+    Term.(
+      const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
+      $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg)
+
+(* ---------- ape sim ---------- *)
+
+let sim_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SPICE netlist.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~doc:"Output node for AC measurements.")
+  in
+  let run file out =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Ape_circuit.Spice_parser.parse ~process:proc ~title:file text with
+    | exception Ape_circuit.Spice_parser.Parse_error msg ->
+      pf "parse error: %s\n" msg;
+      1
+    | netlist -> (
+      match Ape_spice.Dc.solve netlist with
+      | exception Ape_spice.Dc.No_convergence msg ->
+        pf "DC did not converge: %s\n" msg;
+        1
+      | op ->
+        pf "%s" (Format.asprintf "%a" Ape_spice.Dc.pp op);
+        (match out with
+        | None -> ()
+        | Some node ->
+          pf "AC (node %s):\n" node;
+          pf "  |H(0)| = %.4g\n" (Ape_spice.Measure.dc_gain ~out:node op);
+          (match Ape_spice.Measure.f_minus_3db ~out:node op with
+          | Some f -> pf "  f-3dB  = %sHz\n" (eng f)
+          | None -> ());
+          match Ape_spice.Measure.unity_gain_frequency ~out:node op with
+          | Some f -> pf "  UGF    = %sHz\n" (eng f)
+          | None -> ());
+        0)
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Solve a SPICE netlist (DC + AC measurements).")
+    Term.(const run $ file_arg $ out_arg)
+
+(* ---------- ape vase ---------- *)
+
+let vase_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"System spec (S-expression).")
+  in
+  let run file =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Ape_vase.System.parse text with
+    | exception Ape_vase.System.Spec_error msg ->
+      pf "spec error: %s\n" msg;
+      1
+    | system ->
+      let est = Ape_vase.System.estimate proc system in
+      pf "system %s:\n" system.Ape_vase.System.name;
+      List.iter
+        (fun (label, d) ->
+          pf "  %-14s %s\n" label
+            (Format.asprintf "%a" E.Perf.pp (E.Module_lib.perf d)))
+        est.Ape_vase.System.designs;
+      pf "totals: gain=%.2f bw=%sHz area=%.0f um^2 power=%s\n"
+        est.Ape_vase.System.gain_total
+        (eng est.Ape_vase.System.bandwidth_min)
+        (est.Ape_vase.System.area_total /. 1e-12)
+        (eng est.Ape_vase.System.power_total);
+      List.iter
+        (fun (name, ok) -> pf "  %-12s %s\n" name (if ok then "MET" else "VIOLATED"))
+        est.Ape_vase.System.meets;
+      if List.for_all snd est.Ape_vase.System.meets then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "vase" ~doc:"Estimate a system-level specification (VASE flow).")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "Analog Performance Estimator (DATE 1999 reproduction)" in
+  let info = Cmd.info "ape" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ opamp_cmd; module_cmd; synth_cmd; sim_cmd; vase_cmd ]))

@@ -1,0 +1,1 @@
+examples/adc_design.ml: Ape_circuit Ape_estimator Ape_process Ape_spice Ape_util List Printf

@@ -1,0 +1,1 @@
+examples/filter_design.ml: Ape_circuit Ape_estimator Ape_process Ape_spice Ape_util Float List Printf String

@@ -1,0 +1,1 @@
+examples/opamp_design.ml: Ape_estimator Ape_process Ape_synth Ape_util Format List Printf Unix

@@ -1,0 +1,1 @@
+examples/opamp_design.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ape_circuit Ape_device Ape_estimator Ape_process Ape_util Format Printf

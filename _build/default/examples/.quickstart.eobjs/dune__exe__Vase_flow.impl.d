@@ -1,0 +1,1 @@
+examples/vase_flow.ml: Ape_estimator Ape_process Ape_util Ape_vase List Printf

@@ -1,0 +1,1 @@
+examples/vase_flow.mli:

@@ -1,0 +1,50 @@
+(* Quickstart: the APE hierarchy in five minutes.
+     dune exec examples/quickstart.exe
+
+   Walks bottom-up through the four estimation levels of the paper's
+   Figure 2: size a transistor from (gm, Id), build a differential pair
+   on a Wilson tail, compose an opamp, and check the estimate against
+   the built-in MNA simulator. *)
+
+module E = Ape_estimator
+module Mos = Ape_device.Mos
+let proc = Ape_process.Process.c12
+let pf = Printf.printf
+let eng = Ape_util.Units.to_eng
+
+let () =
+  pf "== Level 1: size a CMOS transistor from (gm, Id) ==\n";
+  (* The paper's leading example: a transconductance and a drain current
+     specify the device. *)
+  let sized =
+    Mos.size ~process:proc proc.Ape_process.Process.nmos
+      (Mos.By_gm_id { gm = 100e-6; ids = 10e-6; l = 2.4e-6 })
+  in
+  pf "  %s\n" (Format.asprintf "%a" Mos.pp_sized sized);
+  pf "  parasitics: Cgs=%sF Cgd=%sF Cdb=%sF\n\n"
+    (eng sized.Mos.ss.Mos.cgs) (eng sized.Mos.ss.Mos.cgd)
+    (eng sized.Mos.ss.Mos.cdb);
+
+  pf "== Level 2: a differential amplifier (DiffCMOS on a Wilson tail) ==\n";
+  let diff =
+    E.Diff_pair.design proc
+      (E.Diff_pair.spec ~av:800. ~tail_topology:E.Bias.Wilson
+         E.Diff_pair.Cmos_mirror ~itail:2e-6)
+  in
+  pf "  estimate: %s\n\n" (Format.asprintf "%a" E.Perf.pp diff.E.Diff_pair.perf);
+
+  pf "== Level 3: an operational amplifier ==\n";
+  let opamp =
+    E.Opamp.design proc
+      (E.Opamp.spec ~av:200. ~ugf:2e6 ~ibias:1e-6 ~cl:10e-12 ())
+  in
+  pf "  topology: %s\n" (E.Opamp.describe opamp);
+  pf "  estimate: %s\n" (Format.asprintf "%a" E.Perf.pp opamp.E.Opamp.perf);
+
+  pf "\n== Verify the estimate against the MNA simulator ==\n";
+  let sim = E.Verify.sim_opamp ~slew:false proc opamp in
+  pf "  simulated: %s\n" (Format.asprintf "%a" E.Perf.pp sim);
+
+  pf "\n== The elaborated netlist (SPICE syntax) ==\n";
+  let frag = E.Opamp.fragment proc opamp in
+  print_string (Ape_circuit.Netlist.to_spice frag.E.Fragment.netlist)

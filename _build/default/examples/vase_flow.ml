@@ -1,0 +1,65 @@
+(* The VASE synthesis flow (paper Figure 1):
+     dune exec examples/vase_flow.exe
+
+   A behavioural system specification is parsed, system constraints are
+   transformed onto the module chain (directed-interval gain
+   allocation), every module is estimated by APE, and the composed
+   system estimate is checked against the requirements — the exact role
+   APE plays inside VASE. *)
+
+let pf = Printf.printf
+let eng = Ape_util.Units.to_eng
+let proc = Ape_process.Process.c12
+
+let spec_text =
+  "(system audio_front_end\n\
+  \  ;; anti-alias filter, then two gain stages\n\
+  \  (chain\n\
+  \    (lowpass (order 4) (fc 1k))\n\
+  \    (amplifier (gain 40) (bandwidth 20k))\n\
+  \    (amplifier (gain 2.5) (bandwidth 20k)))\n\
+  \  (require (total_gain 100) (bandwidth 900) (power_max 50m)))"
+
+let () =
+  pf "== behavioural specification ==\n%s\n\n" spec_text;
+  let system = Ape_vase.System.parse spec_text in
+  pf "parsed system '%s' with %d modules\n\n" system.Ape_vase.System.name
+    (List.length system.Ape_vase.System.chain);
+
+  pf "== constraint transformation: allocate 40 dB over 2 amplifier \
+      stages ==\n";
+  (match
+     Ape_vase.System.plan_gain_chain proc ~total_gain:100. ~bandwidth:20e3
+       ~stages:2
+   with
+  | Some gains ->
+    List.iteri (fun i g -> pf "  stage %d gain allocation: %.2f\n" (i + 1) g) gains
+  | None -> pf "  allocation infeasible\n");
+  pf "\n";
+
+  pf "== APE estimation of every module ==\n";
+  let est = Ape_vase.System.estimate proc system in
+  List.iter
+    (fun (label, design) ->
+      let p = Ape_estimator.Module_lib.perf design in
+      pf "  %-12s gain=%-8s bw=%-8s area=%8.0f um^2  power=%s\n" label
+        (match p.Ape_estimator.Perf.gain with
+        | Some g -> Printf.sprintf "%.2f" g
+        | None -> "-")
+        (match p.Ape_estimator.Perf.bandwidth with
+        | Some b -> eng b
+        | None -> "-")
+        (p.Ape_estimator.Perf.gate_area /. 1e-12)
+        (eng p.Ape_estimator.Perf.dc_power))
+    est.Ape_vase.System.designs;
+  pf "\n== composed system estimate ==\n";
+  pf "  total gain      %.1f\n" est.Ape_vase.System.gain_total;
+  pf "  bandwidth       %s (slowest stage)\n"
+    (eng est.Ape_vase.System.bandwidth_min);
+  pf "  total gate area %.0f um^2\n"
+    (est.Ape_vase.System.area_total /. 1e-12);
+  pf "  total power     %s\n" (eng est.Ape_vase.System.power_total);
+  pf "\n== requirement verdicts ==\n";
+  List.iter
+    (fun (name, ok) -> pf "  %-12s %s\n" name (if ok then "MET" else "VIOLATED"))
+    est.Ape_vase.System.meets

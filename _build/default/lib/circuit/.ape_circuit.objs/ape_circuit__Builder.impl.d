@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Ape_device Ape_process Hashtbl List Netlist Printf

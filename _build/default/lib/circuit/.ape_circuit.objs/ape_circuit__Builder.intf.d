@@ -1,0 +1,1 @@
+lib/circuit/builder.mli: Ape_process Netlist

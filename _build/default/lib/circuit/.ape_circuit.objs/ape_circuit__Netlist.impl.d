@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Ape_device Ape_process Ape_util Buffer Format Hashtbl List Option Printf Set String

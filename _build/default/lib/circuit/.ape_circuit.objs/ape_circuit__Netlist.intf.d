@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Ape_device Ape_process Format

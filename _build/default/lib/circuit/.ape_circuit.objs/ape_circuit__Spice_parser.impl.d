@@ -1,0 +1,1 @@
+lib/circuit/spice_parser.ml: Ape_device Ape_process Ape_symbolic Ape_util Char Hashtbl List Netlist Option Printf String

@@ -1,0 +1,126 @@
+module Card = Ape_process.Model_card
+module Card_parser = Ape_process.Card_parser
+module Proc = Ape_process.Process
+module Strings = Ape_util.Strings
+
+exception Parse_error of string
+
+let number word =
+  match Ape_symbolic.Parser.parse_number word with
+  | Some v -> v
+  | None -> raise (Parse_error ("bad number: " ^ word))
+
+let keyed_value words key =
+  let prefix = key ^ "=" in
+  List.find_map
+    (fun w ->
+      if Strings.starts_with_ci ~prefix w then
+        Some
+          (number (String.sub w (String.length prefix)
+                     (String.length w - String.length prefix)))
+      else None)
+    words
+
+let require_keyed words key name =
+  match keyed_value words key with
+  | Some v -> v
+  | None -> raise (Parse_error (Printf.sprintf "%s: missing %s=" name key))
+
+(* DC/AC clauses: "DC 2.5 AC 1" (case-insensitive), or a bare value. *)
+let parse_source_values name rest =
+  let rec loop dc ac = function
+    | [] -> (dc, ac)
+    | w :: v :: tl when String.uppercase_ascii w = "DC" ->
+      loop (number v) ac tl
+    | w :: v :: tl when String.uppercase_ascii w = "AC" ->
+      loop dc (number v) tl
+    | [ v ] when dc = 0. -> (number v, ac)
+    | w :: _ ->
+      raise (Parse_error (Printf.sprintf "%s: unexpected token %s" name w))
+  in
+  loop 0. 0. rest
+
+let parse ?(process = Proc.c12) ~title text =
+  let text = Card_parser.join_lines text in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l ->
+           String.length l > 0 && l.[0] <> '*'
+           && not (Strings.starts_with_ci ~prefix:".end" l))
+  in
+  (* First pass: models. *)
+  let models = Hashtbl.create 4 in
+  Hashtbl.replace models "NMOS" process.Proc.nmos;
+  Hashtbl.replace models "PMOS" process.Proc.pmos;
+  Hashtbl.replace models
+    (String.uppercase_ascii process.Proc.nmos.Card.name)
+    process.Proc.nmos;
+  Hashtbl.replace models
+    (String.uppercase_ascii process.Proc.pmos.Card.name)
+    process.Proc.pmos;
+  List.iter
+    (fun line ->
+      if Strings.starts_with_ci ~prefix:".model" line then begin
+        match Card_parser.parse_card line with
+        | card ->
+          Hashtbl.replace models (String.uppercase_ascii card.Card.name) card
+        | exception Card_parser.Bad_card msg -> raise (Parse_error msg)
+      end)
+    lines;
+  let find_model name =
+    match Hashtbl.find_opt models (String.uppercase_ascii name) with
+    | Some card -> card
+    | None -> raise (Parse_error ("unknown model " ^ name))
+  in
+  (* Second pass: elements. *)
+  let elements =
+    List.filter_map
+      (fun line ->
+        if Strings.starts_with_ci ~prefix:".model" line then None
+        else
+          match Strings.split_words line with
+          | [] -> None
+          | name :: rest -> (
+            let kind = Char.uppercase_ascii name.[0] in
+            match (kind, rest) with
+            | 'M', d :: g :: s :: b :: model :: params ->
+              let card = find_model model in
+              let w = require_keyed params "W" name in
+              let l = require_keyed params "L" name in
+              Some
+                (Netlist.Mosfet
+                   { name; card; d; g; s; b; geom = Ape_device.Mos.geom ~w ~l })
+            | 'R', [ a; b; v ] ->
+              Some (Netlist.Resistor { name; a; b; r = number v })
+            | 'C', [ a; b; v ] ->
+              Some (Netlist.Capacitor { name; a; b; c = number v })
+            | 'V', p :: n :: rest ->
+              let dc, ac = parse_source_values name rest in
+              Some (Netlist.Vsource { name; p; n; dc; ac })
+            | 'I', p :: n :: rest ->
+              let dc, ac = parse_source_values name rest in
+              Some (Netlist.Isource { name; p; n; dc; ac })
+            | 'E', [ p; n; cp; cn; g ] ->
+              Some (Netlist.Vcvs { name; p; n; cp; cn; gain = number g })
+            | 'W', a :: b :: ctrl :: params ->
+              let ron =
+                Option.value ~default:1e3 (keyed_value params "RON")
+              in
+              let roff =
+                Option.value ~default:1e12 (keyed_value params "ROFF")
+              in
+              let vthreshold =
+                Option.value ~default:2.5 (keyed_value params "VT")
+              in
+              Some
+                (Netlist.Switch { name; a; b; ctrl; ron; roff; vthreshold })
+            | _ ->
+              raise (Parse_error ("cannot parse line: " ^ line))))
+      lines
+  in
+  let netlist = Netlist.make ~title elements in
+  (match Netlist.validate netlist with
+  | () -> ()
+  | exception Netlist.Invalid_netlist msg -> raise (Parse_error msg));
+  netlist

@@ -1,0 +1,18 @@
+(** Parser for a practical subset of SPICE netlist syntax.
+
+    Supported cards: comments ([*]), continuations ([+]), [.MODEL]
+    (delegated to {!Ape_process.Card_parser}), [.END], MOSFETs
+    ([Mname d g s b model W=.. L=..]), resistors, capacitors, independent
+    V/I sources ([DC x [AC y]] or a bare value), VCVS ([Ename p n cp cn
+    gain]) and switches ([Wname a b ctrl RON=.. ROFF=.. VT=..]).
+
+    Model references resolve against the deck's own [.MODEL] cards first,
+    then the process cards (by name, or by the generic names
+    [NMOS]/[PMOS]). *)
+
+exception Parse_error of string
+
+val parse :
+  ?process:Ape_process.Process.t -> title:string -> string -> Netlist.t
+(** Raises {!Parse_error} on malformed input.  The result is validated
+    with {!Netlist.validate}. *)

@@ -1,0 +1,1 @@
+lib/core/audio_amp.ml: Ape_circuit Ape_device Ape_process Float Fragment Opamp Perf

@@ -1,0 +1,1 @@
+lib/core/audio_amp.mli: Ape_process Fragment Opamp Perf

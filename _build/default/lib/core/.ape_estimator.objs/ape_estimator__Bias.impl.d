@@ -1,0 +1,1 @@
+lib/core/bias.ml: Ape_circuit Ape_device Ape_process Fragment List Perf

@@ -1,0 +1,1 @@
+lib/core/bias.mli: Ape_device Ape_process Fragment Perf

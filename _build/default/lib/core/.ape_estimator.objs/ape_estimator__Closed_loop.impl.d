@@ -1,0 +1,1 @@
+lib/core/closed_loop.ml: Ape_circuit Ape_process Float Fragment List Opamp Perf Printf

@@ -1,0 +1,1 @@
+lib/core/closed_loop.mli: Ape_process Fragment Opamp Perf

@@ -1,0 +1,1 @@
+lib/core/data_conv.mli: Ape_process Fragment Opamp Perf

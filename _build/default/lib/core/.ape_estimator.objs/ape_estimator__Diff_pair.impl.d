@@ -1,0 +1,1 @@
+lib/core/diff_pair.ml: Ape_circuit Ape_device Ape_process Ape_util Bias Float Fragment List Perf

@@ -1,0 +1,1 @@
+lib/core/diff_pair.mli: Ape_device Ape_process Bias Fragment Perf

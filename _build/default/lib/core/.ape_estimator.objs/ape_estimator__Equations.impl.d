@@ -1,0 +1,1 @@
+lib/core/equations.ml: Ape_symbolic

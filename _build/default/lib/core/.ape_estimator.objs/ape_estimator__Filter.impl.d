@@ -1,0 +1,1 @@
+lib/core/filter.ml: Ape_circuit Ape_process Ape_util Complex Float Fragment List Opamp Perf Printf

@@ -1,0 +1,1 @@
+lib/core/fragment.ml: Ape_circuit List

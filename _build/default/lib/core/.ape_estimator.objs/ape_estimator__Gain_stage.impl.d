@@ -1,0 +1,1 @@
+lib/core/gain_stage.ml: Ape_circuit Ape_device Ape_process Ape_util Float Fragment List Perf Printf

@@ -1,0 +1,1 @@
+lib/core/gain_stage.mli: Ape_device Ape_process Fragment Perf

@@ -1,0 +1,1 @@
+lib/core/module_lib.ml: Ape_circuit Audio_amp Closed_loop Data_conv Filter Fragment Printf Sample_hold

@@ -1,0 +1,1 @@
+lib/core/module_lib.mli: Ape_process Audio_amp Closed_loop Data_conv Filter Fragment Perf Sample_hold

@@ -1,0 +1,1 @@
+lib/core/opamp.ml: Ape_circuit Ape_device Ape_process Bias Diff_pair Float Fragment List Perf Printf

@@ -1,0 +1,1 @@
+lib/core/opamp.mli: Ape_device Ape_process Bias Diff_pair Fragment Perf

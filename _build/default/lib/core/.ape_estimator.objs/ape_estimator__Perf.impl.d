@@ -1,0 +1,1 @@
+lib/core/perf.ml: Ape_util Format List Option Printf

@@ -1,0 +1,1 @@
+lib/core/sample_hold.ml: Ape_circuit Ape_process Closed_loop Float Fragment Opamp Perf

@@ -1,0 +1,1 @@
+lib/core/sample_hold.mli: Ape_process Closed_loop Fragment Perf

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Ape_circuit Ape_process Ape_spice Bias Diff_pair Gain_stage Module_lib Opamp Perf

@@ -1,0 +1,29 @@
+(** Level-4 audio amplifier (paper Table 5 "amp"): a two-stage opamp
+    used {e open loop} with a prescribed gain and bandwidth.
+
+    Raw two-stage gain far exceeds a target like 100, so the output is
+    loaded by a gain-trim divider (2R_trim to each rail ≡ R_trim to
+    mid-rail): DC gain drops to the spec while the unity-gain frequency
+    gm1/(2πCc) is untouched, so the −3 dB bandwidth lands at
+    UGF/gain — exactly the paper's gain-100 / 20 kHz operating point. *)
+
+type spec = {
+  gain : float;  (** open-loop gain target *)
+  bandwidth : float;  (** open-loop −3 dB bandwidth, Hz *)
+}
+
+type design = {
+  spec : spec;
+  opamp : Opamp.design;  (** two-stage core *)
+  r_trim : float;
+      (** Thevenin gain-trim resistance (realised as 2·R_trim to VDD and
+          2·R_trim to ground), Ω *)
+  gain_est : float;
+  bandwidth_est : float;
+  perf : Perf.t;
+}
+
+val design : Ape_process.Process.t -> spec -> design
+
+val fragment : Ape_process.Process.t -> design -> Fragment.t
+(** Ports: [vdd], [inp], [inn], [out]. *)

@@ -1,0 +1,260 @@
+module Proc = Ape_process.Process
+module Mos = Ape_device.Mos
+module B = Ape_circuit.Builder
+
+type mirror_topology = Simple | Cascode | Wilson
+
+let mirror_topology_name = function
+  | Simple -> "CurrMirr"
+  | Cascode -> "Cascode"
+  | Wilson -> "Wilson"
+
+let sum_gate_area devices =
+  List.fold_left (fun acc (d : Mos.sized) -> acc +. Mos.gate_area d.Mos.geom) 0. devices
+
+module Dc_volt = struct
+  type spec = { vout : float; i : float }
+
+  type design = {
+    spec : spec;
+    stack : Mos.sized list;
+    r_bias : float;
+    perf : Perf.t;
+  }
+
+  let design ?l (process : Proc.t) spec =
+    if spec.i <= 0. then invalid_arg "Dc_volt.design: i <= 0";
+    let l = match l with Some l -> l | None -> 2. *. process.Proc.lmin in
+    let card = process.Proc.nmos in
+    let vth = Mos.est_vth card ~vsb:0. in
+    let vdd = process.Proc.vdd in
+    if spec.vout <= vth +. 0.05 || spec.vout >= vdd -. 0.3 then
+      invalid_arg "Dc_volt.design: vout outside feasible window";
+    (* One diode if its overdrive stays moderate; otherwise split the
+       drop over two stacked diodes (each with body effect on the upper
+       one). *)
+    let single_vov = spec.vout -. vth in
+    let stack =
+      if single_vov <= 2.0 then begin
+        let vov = single_vov in
+        [
+          Mos.size ~vds:spec.vout ~vsb:0. ~process card
+            (Mos.By_id_vov { ids = spec.i; vov; l });
+        ]
+      end
+      else begin
+        (* Equal split of vout across two diodes; the upper device sees
+           vsb = lower vgs. *)
+        let v_half = spec.vout /. 2. in
+        let lower =
+          Mos.size ~vds:v_half ~vsb:0. ~process card
+            (Mos.By_id_vov { ids = spec.i; vov = v_half -. vth; l })
+        in
+        let vth_up = Mos.est_vth card ~vsb:v_half in
+        let vov_up = v_half -. vth_up in
+        if vov_up <= 0.05 then
+          invalid_arg "Dc_volt.design: stacked diode infeasible";
+        let upper =
+          Mos.size ~vds:v_half ~vsb:v_half ~process card
+            (Mos.By_id_vov { ids = spec.i; vov = vov_up; l })
+        in
+        [ upper; lower ]
+      end
+    in
+    let r_bias = (vdd -. spec.vout) /. spec.i in
+    let gate_area = sum_gate_area stack in
+    let perf =
+      {
+        Perf.empty with
+        Perf.gate_area;
+        total_area = gate_area +. Proc.resistor_area process r_bias;
+        dc_power = vdd *. spec.i;
+        gain = Some spec.vout;
+        current = Some spec.i;
+        zout =
+          (* Diode stack: 1/gm each in series. *)
+          Some
+            (List.fold_left
+               (fun acc (d : Mos.sized) -> acc +. (1. /. d.Mos.gm))
+               0. stack);
+      }
+    in
+    { spec; stack; r_bias; perf }
+
+  let fragment process design =
+    let b = B.create ~title:"dcvolt" in
+    B.resistor b ~a:"vdd" ~b:"out" design.r_bias;
+    let rec chain node = function
+      | [] -> ()
+      | [ (last : Mos.sized) ] ->
+        B.mosfet b last.Mos.card ~d:node ~g:node ~s:"0" ~b:"0"
+          ~w:last.Mos.geom.Mos.w ~l:last.Mos.geom.Mos.l
+      | (dev : Mos.sized) :: rest ->
+        let mid = B.fresh_node ~hint:"stack" b in
+        B.mosfet b dev.Mos.card ~d:node ~g:node ~s:mid ~b:"0"
+          ~w:dev.Mos.geom.Mos.w ~l:dev.Mos.geom.Mos.l;
+        chain mid rest
+    in
+    chain "out" design.stack;
+    ignore process;
+    Fragment.make (B.finish_unvalidated b) [ ("vdd", "vdd"); ("out", "out") ]
+end
+
+module Current_mirror = struct
+  type spec = {
+    iout : float;
+    iin : float;
+    topology : mirror_topology;
+    vov : float;
+  }
+
+  let spec ?(vov = 0.35) ?(topology = Simple) ?iin ~iout () =
+    let iin = match iin with Some i -> i | None -> iout in
+    { iout; iin; topology; vov }
+
+  type design = {
+    spec : spec;
+    devices : Mos.sized list;
+    r_bias : float;
+    v_in : float;
+    rout : float;
+    v_compliance : float;
+    perf : Perf.t;
+  }
+
+  let design ?l (process : Proc.t) spec =
+    if spec.iout <= 0. then invalid_arg "Current_mirror.design: iout <= 0";
+    if spec.vov <= 0.05 then invalid_arg "Current_mirror.design: vov too small";
+    let l = match l with Some l -> l | None -> 2. *. process.Proc.lmin in
+    let card = process.Proc.nmos in
+    let vdd = process.Proc.vdd in
+    let i = spec.iout in
+    let dev ?(ids = spec.iout) ?(vsb = 0.) ?(vds_frac = 0.5) () =
+      Mos.size ~vds:(vds_frac *. vdd) ~vsb ~process card
+        (Mos.By_id_vov { ids; vov = spec.vov; l })
+    in
+    match spec.topology with
+    | Simple ->
+      let m1 = dev ~ids:spec.iin ~vds_frac:0.2 () in
+      let m2 = dev () in
+      let v_in = m1.Mos.vgs in
+      let r_bias = (vdd -. v_in) /. spec.iin in
+      let rout = 1. /. m2.Mos.gds in
+      let devices = [ m1; m2 ] in
+      let gate_area = sum_gate_area devices in
+      let perf =
+        {
+          Perf.empty with
+          Perf.gate_area;
+          total_area = gate_area +. Proc.resistor_area process r_bias;
+          dc_power = vdd *. spec.iin;
+          current = Some i;
+          zout = Some rout;
+        }
+      in
+      { spec; devices; r_bias; v_in; rout; v_compliance = spec.vov; perf }
+    | Cascode ->
+      (* Stacked diode input (M1 bottom diode, M3 upper diode); stacked
+         output (M2 bottom, M4 cascode). *)
+      let m1 = dev ~ids:spec.iin ~vds_frac:0.2 () in
+      let vsb_up = m1.Mos.vgs in
+      let m3 =
+        Mos.size ~vds:(0.2 *. vdd) ~vsb:vsb_up ~process card
+          (Mos.By_id_vov { ids = spec.iin; vov = spec.vov; l })
+      in
+      let m2 = dev ~vds_frac:0.1 () in
+      let m4 =
+        Mos.size ~vds:(0.4 *. vdd) ~vsb:vsb_up ~process card
+          (Mos.By_id_vov { ids = i; vov = spec.vov; l })
+      in
+      let v_in = m1.Mos.vgs +. m3.Mos.vgs in
+      let r_bias = (vdd -. v_in) /. spec.iin in
+      (* rout ~ gm4·ro4·ro2. *)
+      let rout = m4.Mos.gm /. (m4.Mos.gds *. m2.Mos.gds) in
+      let devices = [ m1; m2; m3; m4 ] in
+      let gate_area = sum_gate_area devices in
+      let perf =
+        {
+          Perf.empty with
+          Perf.gate_area;
+          total_area = gate_area +. Proc.resistor_area process r_bias;
+          dc_power = vdd *. spec.iin;
+          current = Some i;
+          zout = Some rout;
+        }
+      in
+      {
+        spec;
+        devices;
+        r_bias;
+        v_in;
+        rout;
+        v_compliance = m2.Mos.vgs +. spec.vov;
+        perf;
+      }
+    | Wilson ->
+      (* M1: input device (gate at diode node), M2: cascode to the
+         output, M3: bottom diode carrying the output current. *)
+      let m3 = dev ~vds_frac:0.2 () in
+      let vsb2 = m3.Mos.vgs in
+      let m2 =
+        Mos.size ~vds:(0.4 *. vdd) ~vsb:vsb2 ~process card
+          (Mos.By_id_vov { ids = i; vov = spec.vov; l })
+      in
+      let m1 = dev ~ids:spec.iin ~vds_frac:0.3 () in
+      let v_in = m3.Mos.vgs +. m2.Mos.vgs in
+      let r_bias = (vdd -. v_in) /. spec.iin in
+      (* rout ~ gm2·ro2·(R_bias ∥ ro1): the resistor-biased input branch
+         loads the feedback node and caps the boost. *)
+      let ro1 = 1. /. m1.Mos.gds in
+      let r_node = r_bias *. ro1 /. (r_bias +. ro1) in
+      let rout = m2.Mos.gm /. m2.Mos.gds *. r_node in
+      let devices = [ m1; m2; m3 ] in
+      let gate_area = sum_gate_area devices in
+      let perf =
+        {
+          Perf.empty with
+          Perf.gate_area;
+          total_area = gate_area +. Proc.resistor_area process r_bias;
+          dc_power = vdd *. spec.iin;
+          current = Some i;
+          zout = Some rout;
+        }
+      in
+      {
+        spec;
+        devices;
+        r_bias;
+        v_in;
+        rout;
+        v_compliance = m3.Mos.vgs +. spec.vov;
+        perf;
+      }
+
+  let fragment process design =
+    ignore process;
+    let b = B.create ~title:(mirror_topology_name design.spec.topology) in
+    let put (dev : Mos.sized) ~d ~g ~s =
+      B.mosfet b dev.Mos.card ~d ~g ~s ~b:"0" ~w:dev.Mos.geom.Mos.w
+        ~l:dev.Mos.geom.Mos.l
+    in
+    (match (design.spec.topology, design.devices) with
+    | Simple, [ m1; m2 ] ->
+      B.resistor b ~a:"vdd" ~b:"min" design.r_bias;
+      put m1 ~d:"min" ~g:"min" ~s:"0";
+      put m2 ~d:"out" ~g:"min" ~s:"0"
+    | Cascode, [ m1; m2; m3; m4 ] ->
+      B.resistor b ~a:"vdd" ~b:"min" design.r_bias;
+      put m3 ~d:"min" ~g:"min" ~s:"mmid";
+      put m1 ~d:"mmid" ~g:"mmid" ~s:"0";
+      put m4 ~d:"out" ~g:"min" ~s:"mcas";
+      put m2 ~d:"mcas" ~g:"mmid" ~s:"0"
+    | Wilson, [ m1; m2; m3 ] ->
+      B.resistor b ~a:"vdd" ~b:"min" design.r_bias;
+      put m1 ~d:"min" ~g:"my" ~s:"0";
+      put m2 ~d:"out" ~g:"min" ~s:"my";
+      put m3 ~d:"my" ~g:"my" ~s:"0"
+    | (Simple | Cascode | Wilson), _ ->
+      invalid_arg "Current_mirror.fragment: malformed design");
+    Fragment.make (B.finish_unvalidated b) [ ("vdd", "vdd"); ("out", "out") ]
+end

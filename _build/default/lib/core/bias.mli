@@ -1,0 +1,75 @@
+(** Level-2 bias components: DC bias-voltage generators and current
+    sources/sinks (simple, cascode and Wilson mirrors) — the paper's
+    DCVolt, CurrMirr and Wilson rows of Table 2, plus the Cascode
+    variant §4.2 mentions.
+
+    Every [design] function solves the component's symbolic equations
+    for the device sizes (bottom-up via {!Ape_device.Mos.size}) and
+    returns both the closed-form performance estimate and enough
+    structure to elaborate a netlist fragment for independent
+    simulation. *)
+
+type mirror_topology = Simple | Cascode | Wilson
+
+val mirror_topology_name : mirror_topology -> string
+
+(** {1 DC bias voltage (DCVolt)} *)
+
+module Dc_volt : sig
+  type spec = {
+    vout : float;  (** required bias voltage, V *)
+    i : float;  (** branch bias current, A *)
+  }
+
+  type design = {
+    spec : spec;
+    stack : Ape_device.Mos.sized list;
+        (** diode-connected devices from the output down to ground *)
+    r_bias : float;  (** pull-up resistor from VDD, Ω *)
+    perf : Perf.t;
+  }
+
+  val design : ?l:float -> Ape_process.Process.t -> spec -> design
+  (** Sizes a stack of 1 or 2 diode-connected NMOS devices whose summed
+      V_GS equals [vout] at current [i], pulled up through a resistor.
+      Raises [Invalid_argument] when [vout] is outside the feasible
+      window. *)
+
+  val fragment : Ape_process.Process.t -> design -> Fragment.t
+  (** Ports: [vdd], [out]. *)
+end
+
+(** {1 Current mirrors (NMOS sinks)} *)
+
+module Current_mirror : sig
+  type spec = {
+    iout : float;  (** mirrored output current, A *)
+    iin : float;  (** reference-branch current, A (mirror ratio iout/iin) *)
+    topology : mirror_topology;
+    vov : float;  (** design overdrive, V (default interface uses 0.35) *)
+  }
+
+  val spec :
+    ?vov:float ->
+    ?topology:mirror_topology ->
+    ?iin:float ->
+    iout:float ->
+    unit ->
+    spec
+  (** [iin] defaults to [iout] (unit ratio). *)
+
+  type design = {
+    spec : spec;
+    devices : Ape_device.Mos.sized list;
+    r_bias : float;  (** input-branch pull-up from VDD, Ω *)
+    v_in : float;  (** DC voltage of the mirror input node, V *)
+    rout : float;  (** small-signal output resistance, Ω *)
+    v_compliance : float;  (** minimum output voltage for saturation, V *)
+    perf : Perf.t;
+  }
+
+  val design : ?l:float -> Ape_process.Process.t -> spec -> design
+
+  val fragment : Ape_process.Process.t -> design -> Fragment.t
+  (** Ports: [vdd], [out] (the current-sinking drain). *)
+end

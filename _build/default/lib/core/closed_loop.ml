@@ -1,0 +1,176 @@
+module Proc = Ape_process.Process
+module B = Ape_circuit.Builder
+
+type kind =
+  | Inverting of { gain : float }
+  | Non_inverting of { gain : float }
+  | Integrator of { f_unity : float }
+  | Adder of { gains : float list }
+
+type spec = {
+  kind : kind;
+  bandwidth : float;
+  cl : float;
+  r_base : float;
+  sr : float option;
+}
+
+let spec ?(cl = 10e-12) ?(r_base = 400e3) ?sr ~bandwidth kind =
+  { kind; bandwidth; cl; r_base; sr }
+
+type design = {
+  spec : spec;
+  opamp : Opamp.design;
+  r_div : float;
+  resistors : (string * float) list;
+  capacitors : (string * float) list;
+  gain_ideal : float;
+  gain_est : float;
+  bandwidth_est : float;
+  perf : Perf.t;
+}
+
+(* Noise gain (1/β) of each configuration: it sets both the bandwidth
+   shrink and the loop-gain requirement. *)
+let noise_gain = function
+  | Inverting { gain } -> 1. +. gain
+  | Non_inverting { gain } -> gain
+  | Integrator _ -> 2. (* at the unity-gain frequency *)
+  | Adder { gains } -> 1. +. List.fold_left ( +. ) 0. gains
+
+let ideal_gain = function
+  | Inverting { gain } -> -.gain
+  | Non_inverting { gain } -> gain
+  | Integrator _ -> -1. (* at f_unity *)
+  | Adder { gains } -> -.(List.fold_left Float.max 0. gains)
+
+let design (process : Proc.t) spec =
+  let ng = noise_gain spec.kind in
+  if ng < 1. then invalid_arg "Closed_loop.design: noise gain < 1";
+  (* Loop gain >= 20 at DC for <= 5 % gain error; UGF covers the
+     bandwidth at the noise gain with margin. *)
+  let av_req = 20. *. ng in
+  let ugf_req = 1.3 *. ng *. spec.bandwidth in
+  (* Resistive feedback demands a low-impedance output: a buffered
+     opamp with Z_out well under the feedback resistance. *)
+  let opamp =
+    Opamp.design process
+      (Opamp.spec ?sr:spec.sr ~buffer:true ~zout:(spec.r_base /. 50.)
+         ~av:av_req ~ugf:ugf_req ~ibias:1e-6 ~cl:spec.cl ())
+  in
+  (* Mid-rail reference: a stiff resistive divider (Thevenin r_div/2,
+     kept far below r_base). *)
+  let r_div = spec.r_base /. 10. in
+  let r1 = spec.r_base in
+  let resistors, capacitors =
+    match spec.kind with
+    | Inverting { gain } -> ([ ("r1", r1); ("r2", gain *. r1) ], [])
+    | Non_inverting { gain } ->
+      ([ ("r1", r1); ("r2", (gain -. 1.) *. r1) ], [])
+    | Integrator { f_unity } ->
+      let c = 1. /. (2. *. Float.pi *. f_unity *. r1) in
+      ([ ("r1", r1) ], [ ("cf", c) ])
+    | Adder { gains } ->
+      let rf = 2. *. r1 in
+      ( ("rf", rf)
+        :: List.mapi
+             (fun i g -> (Printf.sprintf "r%d" (i + 1), rf /. g))
+             gains,
+        [] )
+  in
+  let a = Float.abs opamp.Opamp.gain in
+  let gain_ideal = ideal_gain spec.kind in
+  (* Finite-gain correction: A_cl = A_ideal / (1 + NG/A). *)
+  let gain_est = gain_ideal /. (1. +. (ng /. a)) in
+  (* For the integrator, the characteristic frequency is its unity
+     crossing 1/(2πRC); for the amplifiers it is UGF / noise gain. *)
+  let bandwidth_est =
+    match spec.kind with
+    | Integrator { f_unity } -> f_unity
+    | Inverting _ | Non_inverting _ | Adder _ -> opamp.Opamp.ugf /. ng
+  in
+  let passive_area =
+    List.fold_left
+      (fun acc (_, r) -> acc +. Proc.resistor_area process r)
+      0. resistors
+    +. List.fold_left
+         (fun acc (_, c) -> acc +. Proc.capacitor_area process c)
+         0. capacitors
+  in
+  let divider_power =
+    let vdd = process.Proc.vdd in
+    vdd *. vdd /. (2. *. r_div)
+  in
+  let gate_area = opamp.Opamp.perf.Perf.gate_area in
+  let perf =
+    {
+      Perf.empty with
+      Perf.gate_area;
+      total_area =
+        opamp.Opamp.perf.Perf.total_area
+        +. (2. *. Proc.resistor_area process r_div)
+        +. passive_area;
+      dc_power = opamp.Opamp.perf.Perf.dc_power +. divider_power;
+      gain = Some gain_est;
+      bandwidth = Some bandwidth_est;
+      ugf = Some opamp.Opamp.ugf;
+      slew_rate = opamp.Opamp.perf.Perf.slew_rate;
+      zout = opamp.Opamp.perf.Perf.zout;
+    }
+  in
+  {
+    spec;
+    opamp;
+    r_div;
+    resistors;
+    capacitors;
+    gain_ideal;
+    gain_est;
+    bandwidth_est;
+    perf;
+  }
+
+let fragment (process : Proc.t) design =
+  let b = B.create ~title:"closed_loop" in
+  let opamp_frag = Opamp.fragment process design.opamp in
+  B.resistor b ~a:"vdd" ~b:"vref" design.r_div;
+  B.resistor b ~a:"vref" ~b:"0" design.r_div;
+  let r role = List.assoc role design.resistors in
+  let inp, inn =
+    match design.spec.kind with
+    | Inverting _ | Integrator _ | Adder _ -> ("vref", "vsum")
+    | Non_inverting _ -> ("in", "vsum")
+  in
+  B.instance b ~prefix:"op1"
+    ~port_map:
+      [ ("inp", inp); ("inn", inn); ("out", "out"); ("vdd", "vdd") ]
+    opamp_frag.Fragment.netlist;
+  let ports =
+    match design.spec.kind with
+    | Inverting _ ->
+      B.resistor b ~a:"in" ~b:"vsum" (r "r1");
+      B.resistor b ~a:"vsum" ~b:"out" (r "r2");
+      [ ("in", "in") ]
+    | Non_inverting _ ->
+      B.resistor b ~a:"vref" ~b:"vsum" (r "r1");
+      B.resistor b ~a:"vsum" ~b:"out" (r "r2");
+      [ ("in", "in") ]
+    | Integrator _ ->
+      B.resistor b ~a:"in" ~b:"vsum" (r "r1");
+      let c = List.assoc "cf" design.capacitors in
+      B.capacitor b ~a:"vsum" ~b:"out" c;
+      (* Large DC-feedback resistor so the integrator has a defined
+         operating point (standard practice). *)
+      B.resistor b ~a:"vsum" ~b:"out" (200. *. design.spec.r_base);
+      [ ("in", "in") ]
+    | Adder { gains } ->
+      B.resistor b ~a:"vsum" ~b:"out" (r "rf");
+      List.mapi
+        (fun i _ ->
+          let port = Printf.sprintf "in%d" (i + 1) in
+          B.resistor b ~a:port ~b:"vsum" (r (Printf.sprintf "r%d" (i + 1)));
+          (port, port))
+        gains
+  in
+  Fragment.make (B.finish_unvalidated b)
+    ((("vdd", "vdd") :: ports) @ [ ("out", "out"); ("vref", "vref") ])

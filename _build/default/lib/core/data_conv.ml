@@ -1,0 +1,231 @@
+module Proc = Ape_process.Process
+module B = Ape_circuit.Builder
+
+module Comparator = struct
+  type spec = { delay : float; overdrive : float }
+
+  let spec ?(overdrive = 50e-3) ~delay () = { delay; overdrive }
+
+  type design = {
+    spec : spec;
+    opamp : Opamp.design;
+    delay_est : float;
+    perf : Perf.t;
+  }
+
+  let design (process : Proc.t) spec =
+    if spec.delay <= 0. then invalid_arg "Comparator.design: delay <= 0";
+    let vdd = process.Proc.vdd in
+    let half_swing = vdd /. 2. in
+    (* Resolution: enough gain to rail from the specified overdrive.
+       Speed: at an input overdrive v_od the first stage delivers only
+       gm·v_od into the compensation node, so the output transition is
+       linear-regime limited: t ≈ half_swing·C/(gm·v_od)
+       = half_swing/(2π·UGF·v_od).  60 % of the budget goes there, the
+       rest covers slew. *)
+    let av_req = 2. *. vdd /. spec.overdrive in
+    let ugf_req =
+      half_swing /. (2. *. Float.pi *. spec.overdrive *. 0.6 *. spec.delay)
+    in
+    let sr_req = half_swing /. (0.4 *. spec.delay) in
+    let opamp =
+      Opamp.design process
+        (Opamp.spec ~av:av_req ~ugf:ugf_req ~sr:sr_req ~ibias:1e-6
+           ~cl:0.5e-12 ())
+    in
+    let sr_real =
+      match opamp.Opamp.perf.Perf.slew_rate with
+      | Some s -> s
+      | None -> sr_req
+    in
+    let delay_est =
+      (half_swing /. (2. *. Float.pi *. opamp.Opamp.ugf *. spec.overdrive))
+      +. (half_swing /. sr_real)
+    in
+    let perf =
+      {
+        opamp.Opamp.perf with
+        Perf.slew_rate = Some sr_real;
+        bandwidth = Some (1. /. delay_est);
+      }
+    in
+    { spec; opamp; delay_est; perf }
+
+  let fragment (process : Proc.t) design =
+    Opamp.fragment process design.opamp
+end
+
+module Flash_adc = struct
+  type spec = {
+    bits : int;
+    delay : float;
+    r_ladder : float;
+    vref_lo : float;
+    vref_hi : float;
+  }
+
+  (* The NMOS-input comparators need ~1 V of input common mode above
+     ground, so the conversion range defaults to [1 V, 4 V] — flash
+     converters always define an explicit reference window. *)
+  let spec ?(r_ladder = 100e3) ?(vref_lo = 1.0) ?(vref_hi = 4.0) ~bits
+      ~delay () =
+    if vref_hi <= vref_lo then invalid_arg "Flash_adc.spec: bad vref range";
+    { bits; delay; r_ladder; vref_lo; vref_hi }
+
+  type design = {
+    spec : spec;
+    comparator : Comparator.design;
+    r_unit : float;
+    levels : float list;
+    delay_est : float;
+    perf : Perf.t;
+  }
+
+  let design (process : Proc.t) spec =
+    if spec.bits < 2 || spec.bits > 6 then
+      invalid_arg "Flash_adc.design: bits out of [2, 6]";
+    let n_levels = (1 lsl spec.bits) - 1 in
+    let vdd = process.Proc.vdd in
+    let lsb = (spec.vref_hi -. spec.vref_lo) /. float_of_int (1 lsl spec.bits) in
+    let comparator =
+      Comparator.design process
+        (Comparator.spec ~overdrive:(lsb /. 2.) ~delay:spec.delay ())
+    in
+    let r_unit = spec.r_ladder *. lsb /. vdd in
+    let levels =
+      List.init n_levels (fun k ->
+          spec.vref_lo +. (float_of_int (k + 1) *. lsb))
+    in
+    let n = float_of_int n_levels in
+    let comp_perf = comparator.Comparator.perf in
+    let ladder_power = vdd *. vdd /. spec.r_ladder in
+    let perf =
+      {
+        Perf.empty with
+        Perf.gate_area = n *. comp_perf.Perf.gate_area;
+        total_area =
+          (n *. comp_perf.Perf.total_area)
+          +. Proc.resistor_area process spec.r_ladder;
+        dc_power = (n *. comp_perf.Perf.dc_power) +. ladder_power;
+        bandwidth = Some (1. /. comparator.Comparator.delay_est);
+      }
+    in
+    {
+      spec;
+      comparator;
+      r_unit;
+      levels;
+      delay_est = comparator.Comparator.delay_est;
+      perf;
+    }
+
+  let fragment (process : Proc.t) design =
+    let b = B.create ~title:"flash_adc" in
+    let n_levels = List.length design.levels in
+    let vdd = process.Proc.vdd in
+    let lsb =
+      (design.spec.vref_hi -. design.spec.vref_lo)
+      /. float_of_int (1 lsl design.spec.bits)
+    in
+    (* Reference ladder from VDD to ground with end resistors sized so
+       the taps land on vref_lo + k*lsb. *)
+    let tap k = Printf.sprintf "lt%d" k in
+    let r_of_span v = design.spec.r_ladder *. v /. vdd in
+    B.resistor b ~a:"vdd" ~b:(tap n_levels)
+      (r_of_span (vdd -. design.spec.vref_hi +. lsb));
+    for k = n_levels downto 2 do
+      B.resistor b ~a:(tap k) ~b:(tap (k - 1)) design.r_unit
+    done;
+    B.resistor b ~a:(tap 1) ~b:"0" (r_of_span (design.spec.vref_lo +. lsb));
+    let comp_frag =
+      Comparator.fragment process design.comparator
+    in
+    let ports = ref [] in
+    for k = 1 to n_levels do
+      let out = Printf.sprintf "d%d" k in
+      B.instance b
+        ~prefix:(Printf.sprintf "c%d" k)
+        ~port_map:
+          [
+            ("inp", "in"); ("inn", tap k); ("out", out); ("vdd", "vdd");
+          ]
+        comp_frag.Fragment.netlist;
+      ports := (Printf.sprintf "t%d" k, out) :: !ports
+    done;
+    let mid = Printf.sprintf "d%d" (1 lsl (design.spec.bits - 1)) in
+    Fragment.make (B.finish_unvalidated b)
+      ([ ("vdd", "vdd"); ("in", "in"); ("out", mid) ] @ List.rev !ports)
+end
+
+module Dac = struct
+  type spec = { bits : int; settling : float; r_unit : float }
+
+  let spec ?(r_unit = 10e3) ~bits ~settling () = { bits; settling; r_unit }
+
+  type design = {
+    spec : spec;
+    buffer : Opamp.design;
+    settling_est : float;
+    perf : Perf.t;
+  }
+
+  let design (process : Proc.t) spec =
+    if spec.bits < 1 || spec.bits > 12 then
+      invalid_arg "Dac.design: bits out of [1, 12]";
+    (* Accuracy: loop gain ≥ 4·2ⁿ keeps the buffer error below LSB/4;
+       speed: settle in ~4.6 closed-loop time constants. *)
+    let av_req = 4. *. float_of_int (1 lsl spec.bits) in
+    let ugf_req = 4.6 /. (2. *. Float.pi *. 0.5 *. spec.settling) in
+    let buffer =
+      Opamp.design process
+        (Opamp.spec ~av:av_req ~ugf:ugf_req ~ibias:1e-6 ~cl:5e-12 ())
+    in
+    (* Ladder Thevenin resistance is R at every node; settling adds the
+       ladder RC into the buffer input capacitance (small). *)
+    let t_amp = 4.6 /. (2. *. Float.pi *. buffer.Opamp.ugf) in
+    let t_ladder = spec.r_unit *. 1e-12 in
+    let settling_est = t_amp +. t_ladder in
+    let n_r = (2 * spec.bits) + 1 in
+    let ladder_area =
+      float_of_int n_r *. Proc.resistor_area process spec.r_unit
+    in
+    let perf =
+      {
+        buffer.Opamp.perf with
+        Perf.total_area = buffer.Opamp.perf.Perf.total_area +. ladder_area;
+        bandwidth = Some (1. /. settling_est);
+      }
+    in
+    { spec; buffer; settling_est; perf }
+
+  let fragment (process : Proc.t) design =
+    let b = B.create ~title:"r2r_dac" in
+    let bits = design.spec.bits in
+    let r = design.spec.r_unit in
+    (* R-2R: node n0 (LSB end, terminated) ... n(bits-1) feeds the
+       buffer. *)
+    let node k = Printf.sprintf "n%d" k in
+    B.resistor b ~a:(node 0) ~b:"0" (2. *. r);
+    for k = 0 to bits - 1 do
+      B.resistor b ~a:(Printf.sprintf "b%d" k) ~b:(node k) (2. *. r);
+      if k < bits - 1 then B.resistor b ~a:(node k) ~b:(node (k + 1)) r
+    done;
+    let buf_frag = Opamp.fragment process design.buffer in
+    (* Unity feedback: the inverting input is wired to the output. *)
+    B.instance b ~prefix:"buf"
+      ~port_map:
+        [
+          ("inp", node (bits - 1));
+          ("inn", "out");
+          ("out", "out");
+          ("vdd", "vdd");
+        ]
+      buf_frag.Fragment.netlist;
+    let bit_ports =
+      List.init bits (fun k ->
+          let name = Printf.sprintf "b%d" k in
+          (name, name))
+    in
+    Fragment.make (B.finish_unvalidated b)
+      ([ ("vdd", "vdd"); ("out", "out") ] @ bit_ports)
+end

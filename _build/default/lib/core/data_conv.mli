@@ -1,0 +1,89 @@
+(** Level-4 data-conversion modules: comparator, flash ADC (paper
+    Figure 3e, Table 5 adc row) and an R-2R DAC.
+
+    The flash converter is the analog core the paper evaluates: a
+    resistor reference ladder and 2ⁿ−1 open-loop comparators.  The
+    thermometer-to-binary encoder is digital and contributes neither to
+    the analog delay nor (materially) to the analog area; it is excluded
+    from the metrics exactly as the paper's area/delay columns imply. *)
+
+module Comparator : sig
+  type spec = {
+    delay : float;  (** required response time, s *)
+    overdrive : float;  (** input overdrive at which delay is specified, V *)
+  }
+
+  val spec : ?overdrive:float -> delay:float -> unit -> spec
+  (** Default overdrive 50 mV. *)
+
+  type design = {
+    spec : spec;
+    opamp : Opamp.design;  (** used open-loop *)
+    delay_est : float;  (** slew + linear regeneration estimate, s *)
+    perf : Perf.t;
+  }
+
+  val design : Ape_process.Process.t -> spec -> design
+
+  val fragment : Ape_process.Process.t -> design -> Fragment.t
+  (** Ports: [vdd], [inp], [inn], [out]. *)
+end
+
+module Flash_adc : sig
+  type spec = {
+    bits : int;  (** 2..6 supported *)
+    delay : float;  (** conversion delay requirement, s *)
+    r_ladder : float;  (** total ladder resistance, Ω *)
+    vref_lo : float;  (** bottom of the conversion range, V *)
+    vref_hi : float;  (** top of the conversion range, V *)
+  }
+
+  val spec :
+    ?r_ladder:float ->
+    ?vref_lo:float ->
+    ?vref_hi:float ->
+    bits:int ->
+    delay:float ->
+    unit ->
+    spec
+  (** The reference window defaults to [1 V, 4 V]: the NMOS-input
+      comparators need common mode above ~1 V (flash converters always
+      define an explicit reference range). *)
+
+  type design = {
+    spec : spec;
+    comparator : Comparator.design;  (** replicated 2ⁿ−1 times *)
+    r_unit : float;  (** per-segment ladder resistance *)
+    levels : float list;  (** ladder tap voltages, ascending *)
+    delay_est : float;
+    perf : Perf.t;
+  }
+
+  val design : Ape_process.Process.t -> spec -> design
+
+  val fragment : Ape_process.Process.t -> design -> Fragment.t
+  (** Ports: [vdd], [in], and thermometer outputs [t1] … [t(2ⁿ−1)];
+      [out] aliases the mid comparator. *)
+end
+
+module Dac : sig
+  type spec = {
+    bits : int;
+    settling : float;  (** required settling time, s *)
+    r_unit : float;  (** R of the R-2R ladder, Ω *)
+  }
+
+  val spec : ?r_unit:float -> bits:int -> settling:float -> unit -> spec
+
+  type design = {
+    spec : spec;
+    buffer : Opamp.design;  (** unity-feedback output buffer *)
+    settling_est : float;
+    perf : Perf.t;
+  }
+
+  val design : Ape_process.Process.t -> spec -> design
+
+  val fragment : Ape_process.Process.t -> design -> Fragment.t
+  (** Ports: [vdd], bit inputs [b0] (LSB) … [b(n−1)], [out]. *)
+end

@@ -1,0 +1,318 @@
+module Proc = Ape_process.Process
+module Mos = Ape_device.Mos
+module B = Ape_circuit.Builder
+
+type load = Nmos_diode | Cmos_mirror
+
+let load_name = function
+  | Nmos_diode -> "DiffNMOS"
+  | Cmos_mirror -> "DiffCMOS"
+
+type spec = {
+  load : load;
+  av : float;
+  itail : float;
+  iref : float;
+  cl : float;
+  tail_topology : Bias.mirror_topology;
+}
+
+let spec ?(av = 10.) ?(cl = 1e-12) ?(tail_topology = Bias.Simple) ?iref load
+    ~itail =
+  let iref = match iref with Some i -> i | None -> itail in
+  { load; av; itail; iref; cl; tail_topology }
+
+type design = {
+  spec : spec;
+  pair : Mos.sized;
+  load_dev : Mos.sized;
+  tail : Bias.Current_mirror.design;
+  input_cm : float;
+  output_dc : float;
+  gain : float;
+  acm : float;
+  cmrr : float;
+  ugf : float;
+  slew_rate : float;
+  gm : float;
+  rout : float;
+  perf : Perf.t;
+}
+
+(* Diode NMOS load hung from VDD with body effect: fixed point for the
+   output DC level. *)
+let diode_output_dc card ~vdd ~vov =
+  let rec loop vout k =
+    if k = 0 then vout
+    else loop (vdd -. (Mos.est_vth card ~vsb:vout +. vov)) (k - 1)
+  in
+  loop (vdd /. 2.) 6
+
+let tail_vds_assumed = 0.8
+
+(* Assemble the design record once the pair and load are sized. *)
+let finish (process : Proc.t) spec ~pair ~load_dev ~tail ~output_dc =
+  let vdd = process.Proc.vdd in
+  let g0 = 1. /. tail.Bias.Current_mirror.rout in
+  let gmi = pair.Mos.gm and gdi = pair.Mos.gds in
+  let gain, acm, cmrr, rout, ugf =
+    match spec.load with
+    | Cmos_mirror ->
+      let gml = load_dev.Mos.gm and gdl = load_dev.Mos.gds in
+      (* Paper equations (5)-(7). *)
+      let gain = gmi /. (gdl +. gdi) in
+      let acm = g0 *. gdi /. (2. *. gml *. (gdl +. gdi)) in
+      let cmrr = 2. *. gmi *. gml /. (g0 *. gdi) in
+      let rout = 1. /. (gdi +. gdl) in
+      let ugf = gmi /. (2. *. Float.pi *. spec.cl) in
+      (gain, acm, cmrr, rout, ugf)
+    | Nmos_diode ->
+      let gml' = load_dev.Mos.gm +. load_dev.Mos.gmb +. load_dev.Mos.gds in
+      let gain = -.(gmi /. (2. *. gml')) in
+      let acm = g0 /. (2. *. gml') in
+      let cmrr = gmi /. g0 in
+      let rout = 1. /. gml' in
+      let ugf = gmi /. (2. *. 2. *. Float.pi *. spec.cl) in
+      (gain, acm, cmrr, rout, ugf)
+  in
+  let slew_rate = spec.itail /. spec.cl in
+  (* Input-referred noise at 1 kHz: channel thermal of the pair and the
+     loads (reflected by (gm_l/gm_i)^2) plus the pair's 1/f term. *)
+  let noise_density =
+    let four_kt = 4. *. Ape_util.Units.k_boltzmann *. 300.15 in
+    let gmi = pair.Mos.gm and gml = load_dev.Mos.gm in
+    let thermal =
+      2. *. four_kt *. (2. /. 3.) /. gmi *. (1. +. (gml /. gmi))
+    in
+    let flicker =
+      let card = pair.Mos.card in
+      let geom = pair.Mos.geom in
+      let leff =
+        Float.max 1e-9
+          (geom.Mos.l -. (2. *. card.Ape_process.Model_card.ld))
+      in
+      2.
+      *. card.Ape_process.Model_card.kf
+      *. (pair.Mos.ids ** card.Ape_process.Model_card.af)
+      /. (Ape_process.Model_card.cox card *. leff *. leff *. 1e3)
+      /. (gmi *. gmi)
+    in
+    Float.sqrt (thermal +. flicker)
+  in
+  (* Pelgrom mismatch: sigma_VT = A_VT/sqrt(WL); loads reflect through
+     the transconductance ratio. *)
+  let offset_sigma =
+    let sigma_vt (d : Mos.sized) =
+      d.Mos.card.Ape_process.Model_card.avt
+      /. Float.sqrt (Mos.gate_area d.Mos.geom)
+    in
+    let si = sigma_vt pair and sl = sigma_vt load_dev in
+    let ratio = load_dev.Mos.gm /. pair.Mos.gm in
+    Float.sqrt ((2. *. si *. si) +. (2. *. ratio *. ratio *. sl *. sl))
+  in
+  let gate_area =
+    (2. *. Mos.gate_area pair.Mos.geom)
+    +. (2. *. Mos.gate_area load_dev.Mos.geom)
+    +. tail.Bias.Current_mirror.perf.Perf.gate_area
+  in
+  let total_area =
+    gate_area +. Proc.resistor_area process tail.Bias.Current_mirror.r_bias
+  in
+  let dc_power = vdd *. (spec.iref +. spec.itail) in
+  let perf =
+    {
+      Perf.empty with
+      Perf.gate_area;
+      total_area;
+      dc_power;
+      gain = Some gain;
+      ugf = Some ugf;
+      cmrr = Some cmrr;
+      slew_rate = Some slew_rate;
+      current = Some spec.itail;
+      zout = Some rout;
+      noise = Some noise_density;
+      offset_sigma = Some offset_sigma;
+    }
+  in
+  {
+    spec;
+    pair;
+    load_dev;
+    tail;
+    input_cm = vdd /. 2.;
+    output_dc;
+    gain;
+    acm;
+    cmrr;
+    ugf;
+    slew_rate;
+    gm = gmi;
+    rout;
+    perf;
+  }
+
+let build ?l ~gm_target (process : Proc.t) spec =
+  let nmos = process.Proc.nmos and pmos = process.Proc.pmos in
+  let vdd = process.Proc.vdd in
+  let ihalf = spec.itail /. 2. in
+  (* Stacked tail topologies (Wilson/Cascode) need ~V_GS + V_ov of
+     compliance below the pair's sources; a lower overdrive keeps them
+     saturated at a 2.5 V input common mode. *)
+  let tail_vov =
+    match spec.tail_topology with
+    | Bias.Simple -> 0.35
+    | Bias.Cascode | Bias.Wilson -> 0.18
+  in
+  let tail =
+    Bias.Current_mirror.design ?l process
+      (Bias.Current_mirror.spec ~vov:tail_vov ~topology:spec.tail_topology
+         ~iin:spec.iref ~iout:spec.itail ())
+  in
+  let l = match l with Some l -> l | None -> 2. *. process.Proc.lmin in
+  match spec.load with
+  | Cmos_mirror ->
+    let pair =
+      Mos.size ~vds:(vdd /. 2.) ~vsb:tail_vds_assumed ~process nmos
+        (Mos.By_gm_id { gm = gm_target; ids = ihalf; l })
+    in
+    let load_dev =
+      Mos.size ~vds:1.0 ~vsb:0. ~process pmos
+        (Mos.By_id_vov { ids = ihalf; vov = 0.3; l })
+    in
+    let output_dc = vdd -. load_dev.Mos.vgs in
+    finish process spec ~pair ~load_dev ~tail ~output_dc
+  | Nmos_diode ->
+    let vov_load = 1.0 in
+    let rec refine out_guess k =
+      let load =
+        Mos.size ~vds:(vdd -. out_guess) ~vsb:out_guess ~process nmos
+          (Mos.By_id_vov { ids = ihalf; vov = vov_load; l })
+      in
+      let out = vdd -. load.Mos.vgs in
+      if k = 0 || Float.abs (out -. out_guess) < 1e-3 then (load, out)
+      else refine out (k - 1)
+    in
+    let load_dev, output_dc =
+      refine (diode_output_dc nmos ~vdd ~vov:vov_load) 6
+    in
+    let pair =
+      Mos.size
+        ~vds:(output_dc -. tail_vds_assumed)
+        ~vsb:tail_vds_assumed ~process nmos
+        (Mos.By_gm_id { gm = gm_target; ids = ihalf; l })
+    in
+    finish process spec ~pair ~load_dev ~tail ~output_dc
+
+(* Channel-length candidates tried when only a gain target is given. *)
+let l_candidates (process : Proc.t) =
+  List.map (fun k -> k *. process.Proc.lmin) [ 2.; 3.; 4.; 6.; 8. ]
+
+let design ?l (process : Proc.t) spec =
+  if spec.itail <= 0. then invalid_arg "Diff_pair.design: itail <= 0";
+  let nmos = process.Proc.nmos and pmos = process.Proc.pmos in
+  let vdd = process.Proc.vdd in
+  let ihalf = spec.itail /. 2. in
+  match spec.load with
+  | Cmos_mirror ->
+    (* Shortest candidate L that meets the gain in strong inversion. *)
+    let candidates = match l with Some l -> [ l ] | None -> l_candidates process in
+    let pick l =
+      let gdi = Mos.est_gds nmos ~l ~ids:ihalf ~vds:(vdd /. 2.) in
+      let gdl = Mos.est_gds pmos ~l ~ids:ihalf ~vds:(vdd /. 2.) in
+      let gm = spec.av *. (gdi +. gdl) in
+      if 2. *. ihalf /. gm >= 0.07 then Some (l, gm) else None
+    in
+    let l, gm_target =
+      match List.find_map pick candidates with
+      | Some r -> r
+      | None ->
+        let l = List.nth candidates (List.length candidates - 1) in
+        let gdi = Mos.est_gds nmos ~l ~ids:ihalf ~vds:(vdd /. 2.) in
+        let gdl = Mos.est_gds pmos ~l ~ids:ihalf ~vds:(vdd /. 2.) in
+        (l, spec.av *. (gdi +. gdl))
+    in
+    build ~l ~gm_target process spec
+  | Nmos_diode ->
+    let l = match l with Some l -> l | None -> 2. *. process.Proc.lmin in
+    (* Size the load first (it sets the gain denominator), then the
+       pair's gm from the gain spec. *)
+    let vov_load = 1.0 in
+    let rec load_at out_guess k =
+      let load =
+        Mos.size ~vds:(vdd -. out_guess) ~vsb:out_guess ~process nmos
+          (Mos.By_id_vov { ids = ihalf; vov = vov_load; l })
+      in
+      let out = vdd -. load.Mos.vgs in
+      if k = 0 || Float.abs (out -. out_guess) < 1e-3 then load
+      else load_at out (k - 1)
+    in
+    let load = load_at (diode_output_dc nmos ~vdd ~vov:vov_load) 6 in
+    let gml' = load.Mos.gm +. load.Mos.gmb +. load.Mos.gds in
+    let gm_target = 2. *. spec.av *. gml' in
+    build ~l ~gm_target process spec
+
+let design_for_gm ?l ~gm (process : Proc.t) spec =
+  if gm <= 0. then invalid_arg "Diff_pair.design_for_gm: gm <= 0";
+  let ihalf = spec.itail /. 2. in
+  let l =
+    match l with
+    | Some l -> l
+    | None ->
+      (* Choose L so the single-stage gain reaches the spec's av at the
+         prescribed gm: gain = gm / ((λn(L) + λp(L))·I/2). *)
+      let nmos = process.Proc.nmos and pmos = process.Proc.pmos in
+      let lam_at l =
+        Ape_process.Model_card.lambda_at nmos l
+        +. Ape_process.Model_card.lambda_at pmos l
+      in
+      let lam_needed = gm /. (Float.max 1. spec.av *. ihalf) in
+      let l_ref = 2. *. process.Proc.lmin in
+      let l_required = lam_at l_ref /. lam_needed *. l_ref in
+      Ape_util.Float_ext.clamp ~lo:(2. *. process.Proc.lmin)
+        ~hi:(50. *. process.Proc.lmin)
+        l_required
+  in
+  build ~l ~gm_target:gm process spec
+
+let fragment (process : Proc.t) design =
+  let b = B.create ~title:(load_name design.spec.load) in
+  let put (d : Mos.sized) ~dn ~gn ~sn ~bn =
+    B.mosfet b d.Mos.card ~d:dn ~g:gn ~s:sn ~b:bn ~w:d.Mos.geom.Mos.w
+      ~l:d.Mos.geom.Mos.l
+  in
+  (* Tail current sink: the Bias fragment spliced in as a child; its
+     reference diode node is exported for enclosing levels to ratio
+     additional sinks off. *)
+  let tail_frag = Bias.Current_mirror.fragment process design.tail in
+  B.instance b ~prefix:"tail"
+    ~port_map:[ ("out", "tail"); ("vdd", "vdd") ]
+    tail_frag.Fragment.netlist;
+  let bias_node =
+    match design.spec.tail_topology with
+    | Bias.Simple -> "tail.min"
+    | Bias.Cascode -> "tail.mmid"
+    | Bias.Wilson -> "tail.my"
+  in
+  (* With the mirror load the output side is non-inverting w.r.t.
+     (inp − inn); with diode loads the output sits on the inp side so
+     the gain is negative, matching the paper's sign convention. *)
+  (match design.spec.load with
+  | Cmos_mirror ->
+    put design.pair ~dn:"x1" ~gn:"inp" ~sn:"tail" ~bn:"0";
+    put design.pair ~dn:"out" ~gn:"inn" ~sn:"tail" ~bn:"0";
+    put design.load_dev ~dn:"x1" ~gn:"x1" ~sn:"vdd" ~bn:"vdd";
+    put design.load_dev ~dn:"out" ~gn:"x1" ~sn:"vdd" ~bn:"vdd"
+  | Nmos_diode ->
+    put design.pair ~dn:"x1" ~gn:"inn" ~sn:"tail" ~bn:"0";
+    put design.pair ~dn:"out" ~gn:"inp" ~sn:"tail" ~bn:"0";
+    put design.load_dev ~dn:"vdd" ~gn:"vdd" ~sn:"x1" ~bn:"0";
+    put design.load_dev ~dn:"vdd" ~gn:"vdd" ~sn:"out" ~bn:"0");
+  Fragment.make (B.finish_unvalidated b)
+    [
+      ("vdd", "vdd");
+      ("inp", "inp");
+      ("inn", "inn");
+      ("out", "out");
+      ("bias", bias_node);
+    ]

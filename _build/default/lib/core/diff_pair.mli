@@ -1,0 +1,72 @@
+(** Level-2 differential amplifiers — the paper's DiffNMOS and DiffCMOS
+    rows of Table 2 and the input stage of every level-3 opamp.
+
+    - {b DiffNMOS}: NMOS source-coupled pair with diode-connected NMOS
+      loads, single-ended output; |A_dm| = gm_i / (2·(gm_l + gmb_l)).
+    - {b DiffCMOS}: NMOS pair with PMOS current-mirror load, single-ended
+      output; the paper's equations (5)–(7):
+      A_dm ≈ gm_i/(gd_l + gd_i),
+      A_cm ≈ −g_0·gd_i / (2·gm_l·(gd_l + gd_i)),
+      CMRR ≈ 2·gm_i·gm_l / (g_0·gd_i).
+
+    Both sit on an NMOS tail mirror built from the {!Bias} library —
+    the hierarchy the paper's Figure 2 draws. *)
+
+type load = Nmos_diode | Cmos_mirror
+
+val load_name : load -> string
+(** "DiffNMOS" / "DiffCMOS". *)
+
+type spec = {
+  load : load;
+  av : float;  (** required differential gain magnitude *)
+  itail : float;  (** tail current, A *)
+  iref : float;  (** bias-reference branch current, A (tail mirror ratio
+                     is itail/iref) *)
+  cl : float;  (** load capacitance for UGF estimate, F *)
+  tail_topology : Bias.mirror_topology;
+      (** current-source topology under the pair (paper: "type of current
+          source" is a free topology choice) *)
+}
+
+val spec :
+  ?av:float ->
+  ?cl:float ->
+  ?tail_topology:Bias.mirror_topology ->
+  ?iref:float ->
+  load ->
+  itail:float ->
+  spec
+(** [iref] defaults to [itail]. *)
+
+type design = {
+  spec : spec;
+  pair : Ape_device.Mos.sized;  (** one of the two matched input devices *)
+  load_dev : Ape_device.Mos.sized;  (** one of the two matched loads *)
+  tail : Bias.Current_mirror.design;
+  input_cm : float;  (** intended input common-mode voltage, V *)
+  output_dc : float;  (** expected output DC, V *)
+  gain : float;  (** signed A_dm estimate *)
+  acm : float;  (** common-mode gain magnitude estimate *)
+  cmrr : float;
+  ugf : float;
+  slew_rate : float;
+  gm : float;  (** differential transconductance gm_i *)
+  rout : float;  (** single-ended output resistance *)
+  perf : Perf.t;
+}
+
+val design : ?l:float -> Ape_process.Process.t -> spec -> design
+
+val design_for_gm :
+  ?l:float -> gm:float -> Ape_process.Process.t -> spec -> design
+(** Like {!design} but the input-pair transconductance is prescribed
+    directly (the opamp level derives it from the UGF spec) and the
+    channel length is chosen to meet the spec's [av] at that gm; the
+    spec's [av] field is treated as a lower bound rather than a target. *)
+
+val fragment : Ape_process.Process.t -> design -> Fragment.t
+(** Ports: [vdd], [inp], [inn], [out].  The tail current source is
+    spliced in as a child instance of the {!Bias.Current_mirror}
+    fragment; its mirror reference node is exported as port [bias] so
+    enclosing levels (opamp stage-2/buffer sinks) can ratio off it. *)

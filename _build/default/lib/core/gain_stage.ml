@@ -1,0 +1,293 @@
+module Proc = Ape_process.Process
+module Mos = Ape_device.Mos
+module B = Ape_circuit.Builder
+
+type kind = Gain_nmos | Gain_cmos | Gain_cmosh | Follower_stage
+
+let kind_name = function
+  | Gain_nmos -> "GainNMOS"
+  | Gain_cmos -> "GainCMOS"
+  | Gain_cmosh -> "GainCMOSH"
+  | Follower_stage -> "Follower"
+
+type spec = { kind : kind; av : float; i : float; cl : float }
+
+let spec ?(av = 10.) ?(cl = 1e-12) kind ~i = { kind; av; i; cl }
+
+type design = {
+  spec : spec;
+  devices : (string * Mos.sized) list;
+  r_bias : float option;
+  input_dc : float;
+  output_dc : float;
+  needs_servo : bool;
+  gain : float;
+  ugf : float option;
+  bandwidth : float;
+  zout : float;
+  perf : Perf.t;
+}
+
+let sum_gate_area devices =
+  List.fold_left
+    (fun acc (_, (d : Mos.sized)) -> acc +. Mos.gate_area d.Mos.geom)
+    0. devices
+
+let base_perf process design_gate_area ~r_bias ~i ~gain ~ugf ~bandwidth ~zout
+    ~current =
+  let r_area =
+    match r_bias with Some r -> Proc.resistor_area process r | None -> 0.
+  in
+  {
+    Perf.empty with
+    Perf.gate_area = design_gate_area;
+    total_area = design_gate_area +. r_area;
+    dc_power = process.Proc.vdd *. i;
+    gain = Some gain;
+    ugf;
+    bandwidth = Some bandwidth;
+    zout = Some zout;
+    current = Some current;
+  }
+
+(* Output DC of a diode NMOS load hung from VDD: vout = vdd - vgs2 where
+   vgs2 includes body effect at vsb = vout.  Fixed-point iteration. *)
+let nmos_diode_output_dc card ~vdd ~vov =
+  let rec loop vout k =
+    if k = 0 then vout
+    else begin
+      let vth = Mos.est_vth card ~vsb:vout in
+      loop (vdd -. (vth +. vov)) (k - 1)
+    end
+  in
+  loop (vdd /. 2.) 6
+
+let design ?l (process : Proc.t) spec =
+  if spec.i <= 0. then invalid_arg "Gain_stage.design: i <= 0";
+  let nmos = process.Proc.nmos and pmos = process.Proc.pmos in
+  let vdd = process.Proc.vdd in
+  let i = spec.i and cl = spec.cl in
+  let l_default = match l with Some l -> l | None -> 2. *. process.Proc.lmin in
+  match spec.kind with
+  | Gain_nmos ->
+    let l = l_default in
+    (* Diode load at a stiff overdrive for headroom; iterate the output
+       level against the realised device's V_GS (body effect + CLM). *)
+    let vov2 = 0.6 in
+    let rec refine out_guess k =
+      let load =
+        Mos.size ~vds:(vdd -. out_guess) ~vsb:out_guess ~process nmos
+          (Mos.By_id_vov { ids = i; vov = vov2; l })
+      in
+      let out = vdd -. load.Mos.vgs in
+      if k = 0 || Float.abs (out -. out_guess) < 1e-3 then (load, out)
+      else refine out (k - 1)
+    in
+    let m2, output_dc = refine (nmos_diode_output_dc nmos ~vdd ~vov:vov2) 6 in
+    let g_load = m2.Mos.gm +. m2.Mos.gmb +. m2.Mos.gds in
+    (* Required driver transconductance for the gain spec (driver gds
+       folded in iteratively — one refinement pass suffices). *)
+    let gds1_guess = Mos.est_gds nmos ~l ~ids:i ~vds:output_dc in
+    let gm1 = spec.av *. (g_load +. gds1_guess) in
+    let m1 =
+      Mos.size ~vds:output_dc ~vsb:0. ~process nmos
+        (Mos.By_gm_id { gm = gm1; ids = i; l })
+    in
+    let gain = -.(m1.Mos.gm /. (g_load +. m1.Mos.gds)) in
+    let bandwidth = g_load /. (2. *. Float.pi *. cl) in
+    let ugf = m1.Mos.gm /. (2. *. Float.pi *. cl) in
+    let devices = [ ("driver", m1); ("load", m2) ] in
+    let zout = 1. /. g_load in
+    let perf =
+      base_perf process (sum_gate_area devices) ~r_bias:None ~i ~gain
+        ~ugf:(Some ugf) ~bandwidth ~zout ~current:i
+    in
+    {
+      spec;
+      devices;
+      r_bias = None;
+      input_dc = m1.Mos.vgs;
+      output_dc;
+      needs_servo = false;
+      gain;
+      ugf = Some ugf;
+      bandwidth;
+      zout;
+      perf;
+    }
+  | Gain_cmos ->
+    (* High-gain node: pick the shortest L that keeps the driver's
+       overdrive above 80 mV for the requested gain. *)
+    let candidates =
+      match l with
+      | Some l -> [ l ]
+      | None ->
+        List.map (fun k -> k *. process.Proc.lmin) [ 2.; 3.; 4.; 6.; 8. ]
+    in
+    let try_l l =
+      let gds1 = Mos.est_gds nmos ~l ~ids:i ~vds:(vdd /. 2.) in
+      let gds2 = Mos.est_gds pmos ~l ~ids:i ~vds:(vdd /. 2.) in
+      let gm1 = spec.av *. (gds1 +. gds2) in
+      let vov1 = 2. *. i /. gm1 in
+      if vov1 >= 0.08 then Some (l, gm1) else None
+    in
+    let l, gm1 =
+      match List.find_map try_l candidates with
+      | Some r -> r
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Gain_stage.design: gain %.0f infeasible at %s A"
+             spec.av (Ape_util.Units.to_eng i))
+    in
+    let m1 =
+      Mos.size ~vds:(vdd /. 2.) ~vsb:0. ~process nmos
+        (Mos.By_gm_id { gm = gm1; ids = i; l })
+    in
+    let m2 =
+      Mos.size ~vds:(vdd /. 2.) ~vsb:0. ~process pmos
+        (Mos.By_id_vov { ids = i; vov = 0.35; l })
+    in
+    let mb =
+      Mos.size ~vds:(Mos.operating_vgs pmos
+                       ~w_over_l:(m2.Mos.geom.Mos.w /. m2.Mos.geom.Mos.l)
+                       ~ids:i ~vsb:0.)
+        ~vsb:0. ~process pmos
+        (Mos.By_id_vov { ids = i; vov = 0.35; l })
+    in
+    let v_bias = vdd -. mb.Mos.vgs in
+    let r_bias = v_bias /. i in
+    let gain = -.(m1.Mos.gm /. (m1.Mos.gds +. m2.Mos.gds)) in
+    let ugf = m1.Mos.gm /. (2. *. Float.pi *. cl) in
+    let bandwidth =
+      (m1.Mos.gds +. m2.Mos.gds) /. (2. *. Float.pi *. cl)
+    in
+    let zout = 1. /. (m1.Mos.gds +. m2.Mos.gds) in
+    let devices = [ ("driver", m1); ("load", m2); ("bias_diode", mb) ] in
+    let perf =
+      base_perf process (sum_gate_area devices) ~r_bias:(Some r_bias)
+        ~i:(2. *. i) ~gain ~ugf:(Some ugf) ~bandwidth ~zout ~current:i
+    in
+    {
+      spec;
+      devices;
+      r_bias = Some r_bias;
+      input_dc = m1.Mos.vgs;
+      output_dc = vdd /. 2.;
+      needs_servo = true;
+      gain;
+      ugf = Some ugf;
+      bandwidth;
+      zout;
+      perf;
+    }
+  | Gain_cmosh ->
+    let l = l_default in
+    (* PMOS diode load: vout = vdd - |vgs_p|, no body effect. *)
+    let vov2 = 0.5 in
+    let m2 =
+      Mos.size ~vds:1.0 ~vsb:0. ~process pmos
+        (Mos.By_id_vov { ids = i; vov = vov2; l })
+    in
+    let output_dc = vdd -. m2.Mos.vgs in
+    let g_load = m2.Mos.gm +. m2.Mos.gds in
+    let gds1_guess = Mos.est_gds nmos ~l ~ids:i ~vds:output_dc in
+    let gm1 = spec.av *. (g_load +. gds1_guess) in
+    let m1 =
+      Mos.size ~vds:output_dc ~vsb:0. ~process nmos
+        (Mos.By_gm_id { gm = gm1; ids = i; l })
+    in
+    let gain = -.(m1.Mos.gm /. (g_load +. m1.Mos.gds)) in
+    let ugf = m1.Mos.gm /. (2. *. Float.pi *. cl) in
+    let bandwidth = g_load /. (2. *. Float.pi *. cl) in
+    let zout = 1. /. g_load in
+    let devices = [ ("driver", m1); ("load", m2) ] in
+    let perf =
+      base_perf process (sum_gate_area devices) ~r_bias:None ~i ~gain
+        ~ugf:(Some ugf) ~bandwidth ~zout ~current:i
+    in
+    {
+      spec;
+      devices;
+      r_bias = None;
+      input_dc = m1.Mos.vgs;
+      output_dc;
+      needs_servo = false;
+      gain;
+      ugf = Some ugf;
+      bandwidth;
+      zout;
+      perf;
+    }
+  | Follower_stage ->
+    let l = l_default in
+    let vov = 0.3 in
+    (* Aim the output at mid-supply; the input bias follows. *)
+    let output_dc = vdd /. 2. in
+    let m1 =
+      Mos.size ~vds:(vdd -. output_dc) ~vsb:output_dc ~process nmos
+        (Mos.By_id_vov { ids = i; vov; l })
+    in
+    let sink =
+      Mos.size ~vds:output_dc ~vsb:0. ~process nmos
+        (Mos.By_id_vov { ids = i; vov = 0.35; l })
+    in
+    let diode =
+      Mos.size ~vds:sink.Mos.vgs ~vsb:0. ~process nmos
+        (Mos.By_id_vov { ids = i; vov = 0.35; l })
+    in
+    let r_bias = (vdd -. diode.Mos.vgs) /. i in
+    let g_out = m1.Mos.gm +. m1.Mos.gmb +. m1.Mos.gds +. sink.Mos.gds in
+    let gain = m1.Mos.gm /. g_out in
+    let bandwidth = g_out /. (2. *. Float.pi *. spec.cl) in
+    let zout = 1. /. (m1.Mos.gm +. m1.Mos.gmb) in
+    let input_dc = output_dc +. m1.Mos.vgs in
+    let devices = [ ("driver", m1); ("sink", sink); ("bias_diode", diode) ] in
+    let perf =
+      base_perf process (sum_gate_area devices) ~r_bias:(Some r_bias)
+        ~i:(2. *. i) ~gain ~ugf:None ~bandwidth ~zout ~current:i
+    in
+    {
+      spec;
+      devices;
+      r_bias = Some r_bias;
+      input_dc;
+      output_dc;
+      needs_servo = false;
+      gain;
+      ugf = None;
+      bandwidth;
+      zout;
+      perf;
+    }
+
+let fragment (process : Proc.t) design =
+  let b = B.create ~title:(kind_name design.spec.kind) in
+  let dev role = List.assoc role design.devices in
+  let put (d : Mos.sized) ~dn ~gn ~sn ~bn =
+    B.mosfet b d.Mos.card ~d:dn ~g:gn ~s:sn ~b:bn ~w:d.Mos.geom.Mos.w
+      ~l:d.Mos.geom.Mos.l
+  in
+  (match design.spec.kind with
+  | Gain_nmos ->
+    put (dev "driver") ~dn:"out" ~gn:"in" ~sn:"0" ~bn:"0";
+    put (dev "load") ~dn:"vdd" ~gn:"vdd" ~sn:"out" ~bn:"0"
+  | Gain_cmos ->
+    put (dev "driver") ~dn:"out" ~gn:"in" ~sn:"0" ~bn:"0";
+    put (dev "load") ~dn:"out" ~gn:"pb" ~sn:"vdd" ~bn:"vdd";
+    put (dev "bias_diode") ~dn:"pb" ~gn:"pb" ~sn:"vdd" ~bn:"vdd";
+    (match design.r_bias with
+    | Some r -> B.resistor b ~a:"pb" ~b:"0" r
+    | None -> assert false)
+  | Gain_cmosh ->
+    put (dev "driver") ~dn:"out" ~gn:"in" ~sn:"0" ~bn:"0";
+    put (dev "load") ~dn:"out" ~gn:"out" ~sn:"vdd" ~bn:"vdd"
+  | Follower_stage ->
+    put (dev "driver") ~dn:"vdd" ~gn:"in" ~sn:"out" ~bn:"0";
+    put (dev "sink") ~dn:"out" ~gn:"nb" ~sn:"0" ~bn:"0";
+    put (dev "bias_diode") ~dn:"nb" ~gn:"nb" ~sn:"0" ~bn:"0";
+    (match design.r_bias with
+    | Some r -> B.resistor b ~a:"vdd" ~b:"nb" r
+    | None -> assert false));
+  ignore process;
+  Fragment.make (B.finish_unvalidated b)
+    [ ("vdd", "vdd"); ("in", "in"); ("out", "out") ]

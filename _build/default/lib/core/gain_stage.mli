@@ -1,0 +1,53 @@
+(** Level-2 single-ended gain stages and the output buffer — the paper's
+    GainNMOS, GainCMOS, GainCMOSH and Follower rows of Table 2.
+
+    Topology conventions (documented in DESIGN.md since the paper names
+    but does not draw them):
+    - {b GainNMOS}: common-source NMOS driver, diode-connected NMOS load
+      (gain −gm1/(gm2+gmb2+gds), self-biased output).
+    - {b GainCMOS}: common-source NMOS driver, PMOS current-source load
+      from an internal R-biased PMOS mirror (gain −gm1/(gds1+gds2)).
+    - {b GainCMOSH}: common-source NMOS driver, diode-connected PMOS
+      load — the "half-swing" low-power variant (gain −gm1/gm2p, no body
+      effect, well-defined output level).
+    - {b Follower}: NMOS source follower over an R-biased NMOS mirror
+      sink. *)
+
+type kind = Gain_nmos | Gain_cmos | Gain_cmosh | Follower_stage
+
+val kind_name : kind -> string
+
+type spec = {
+  kind : kind;
+  av : float;  (** required gain magnitude (ignored for Follower) *)
+  i : float;  (** stage bias current, A *)
+  cl : float;  (** load capacitance assumed for UGF/BW estimates, F *)
+}
+
+val spec : ?av:float -> ?cl:float -> kind -> i:float -> spec
+(** [av] defaults to 10 (unused by Follower), [cl] to 1 pF. *)
+
+type design = {
+  spec : spec;
+  devices : (string * Ape_device.Mos.sized) list;
+      (** role → sized device; roles: [driver], [load], [bias_diode],
+          [sink]… *)
+  r_bias : float option;  (** internal bias resistor when present *)
+  input_dc : float;  (** DC input voltage to bias the stage, V *)
+  output_dc : float;  (** expected DC output, V *)
+  needs_servo : bool;
+      (** true when the output level is gain-sensitive to the input DC
+          (verification should servo the input; see {!Verify}) *)
+  gain : float;  (** estimated gain, signed *)
+  ugf : float option;
+  bandwidth : float;
+  zout : float;
+  perf : Perf.t;
+}
+
+val design : ?l:float -> Ape_process.Process.t -> spec -> design
+(** Raises [Invalid_argument] when the gain spec is infeasible at every
+    candidate channel length. *)
+
+val fragment : Ape_process.Process.t -> design -> Fragment.t
+(** Ports: [vdd], [in], [out]. *)

@@ -1,0 +1,459 @@
+module Proc = Ape_process.Process
+module Mos = Ape_device.Mos
+module Card = Ape_process.Model_card
+module B = Ape_circuit.Builder
+module N = Ape_circuit.Netlist
+
+type spec = {
+  av : float;
+  ugf : float;
+  ibias : float;
+  cl : float;
+  buffer : bool;
+  zout : float option;
+  sr : float option;
+  bias_topology : Bias.mirror_topology;
+  diff_load : Diff_pair.load;
+  area_max : float option;
+  force_stage2 : bool;
+}
+
+let spec ?(buffer = false) ?zout ?sr ?(bias_topology = Bias.Simple)
+    ?(diff_load = Diff_pair.Cmos_mirror) ?(cl = 10e-12) ?area_max
+    ?(force_stage2 = false) ~av ~ugf ~ibias () =
+  {
+    av;
+    ugf;
+    ibias;
+    cl;
+    buffer;
+    zout;
+    sr;
+    bias_topology;
+    diff_load;
+    area_max;
+    force_stage2;
+  }
+
+type second_stage = {
+  driver : Mos.sized;
+  sink : Mos.sized;
+  i2 : float;
+  gain2 : float;
+  cc : float;
+  rz : float;
+}
+
+type buffer_stage = {
+  driver : Mos.sized;
+  sink : Mos.sized;
+  i_buf : float;
+  gain_buf : float;
+}
+
+type design = {
+  spec : spec;
+  diff : Diff_pair.design;
+  stage2 : second_stage option;
+  buffer : buffer_stage option;
+  c_internal : float option;
+  input_cm : float;
+  output_dc : float;
+  gain : float;
+  ugf : float;
+  slew_rate : float;
+  zout : float;
+  phase_margin : float;
+  perf : Perf.t;
+}
+
+exception Infeasible of string
+
+let deg_atan x = Float.atan x *. 180. /. Float.pi
+
+(* Device parasitics loading the diff stage's single-ended output node:
+   one pair drain (cdb + cgd) and one mirror-load drain (cdb + cgd). *)
+let diff_output_parasitic (diff : Diff_pair.design) =
+  let pair = diff.Diff_pair.pair and load = diff.Diff_pair.load_dev in
+  pair.Mos.ss.Mos.cdb +. pair.Mos.ss.Mos.cgd +. load.Mos.ss.Mos.cdb
+  +. load.Mos.ss.Mos.cgd
+
+(* Source-follower buffer sized for an output-resistance requirement (or
+   a pole well above the UGF when no Z_out is given). *)
+let design_buffer ?(sink_vov = 0.35) (process : Proc.t) ~(spec : spec)
+    ~in_dc =
+  let nmos = process.Proc.nmos in
+  let vdd = process.Proc.vdd in
+  (* The buffer must both meet the Z_out requirement and keep its own
+     pole (gm/C_L) well above the UGF. *)
+  let gm_pole = 4. *. 2. *. Float.pi *. spec.ugf *. spec.cl in
+  let gm_req =
+    match spec.zout with
+    | Some z when z > 0. -> Float.max (1.2 /. z) gm_pole
+    | Some _ | None -> gm_pole
+  in
+  let vov = 0.25 in
+  let i_buf = gm_req *. vov /. 2. in
+  let out_dc_guess = Float.max 0.5 (in_dc -. 1.2) in
+  let driver =
+    Mos.size
+      ~vds:(vdd -. out_dc_guess)
+      ~vsb:out_dc_guess ~process nmos
+      (Mos.By_gm_id { gm = gm_req; ids = i_buf; l = 2. *. process.Proc.lmin })
+  in
+  let sink =
+    Mos.size ~vds:out_dc_guess ~vsb:0. ~process nmos
+      (Mos.By_id_vov
+         { ids = i_buf; vov = sink_vov; l = 2. *. process.Proc.lmin })
+  in
+  let g_total = driver.Mos.gm +. driver.Mos.gmb +. driver.Mos.gds +. sink.Mos.gds in
+  let gain_buf = driver.Mos.gm /. g_total in
+  let out_dc = in_dc -. driver.Mos.vgs in
+  ({ driver; sink; i_buf; gain_buf }, out_dc)
+
+(* Second stage: PMOS common-source whose V_GS is forced equal to the
+   first-stage mirror diode's, so its overdrive is inherited and its
+   current is a ratio of the tail current. *)
+let design_stage2 (process : Proc.t) ~(diff : Diff_pair.design) ~gm1 ~cc ~cl =
+  let sink_vov =
+    diff.Diff_pair.tail.Bias.Current_mirror.spec.Bias.Current_mirror.vov
+  in
+  let pmos = process.Proc.pmos and nmos = process.Proc.nmos in
+  let vdd = process.Proc.vdd in
+  let load = diff.Diff_pair.load_dev in
+  let vov6 =
+    Float.max 0.1 (load.Mos.vgs -. Mos.est_vth pmos ~vsb:0.)
+  in
+  (* Pole-splitting requirement: gm6 >= 2.2·gm1·CL/Cc. *)
+  let gm6 = 2.2 *. gm1 *. cl /. cc in
+  let i2 = gm6 *. vov6 /. 2. in
+  let l = load.Mos.geom.Mos.l in
+  let driver =
+    Mos.size ~vds:(vdd /. 2.) ~vsb:0. ~process pmos
+      (Mos.By_gm_id { gm = gm6; ids = i2; l })
+  in
+  let sink =
+    Mos.size ~vds:(vdd /. 2.) ~vsb:0. ~process nmos
+      (Mos.By_id_vov { ids = i2; vov = sink_vov; l })
+  in
+  let gain2 = driver.Mos.gm /. (driver.Mos.gds +. sink.Mos.gds) in
+  { driver; sink; i2; gain2; cc; rz = 1. /. gm6 }
+
+let assemble (process : Proc.t) spec ~diff ~stage2 ~buffer ~c_internal =
+  let vdd = process.Proc.vdd in
+  let a1 = Float.abs diff.Diff_pair.gain in
+  let a2 = match stage2 with Some s -> s.gain2 | None -> 1. in
+  let ab = match buffer with Some b -> b.gain_buf | None -> 1. in
+  let gain = a1 *. a2 *. ab in
+  let gm1 = diff.Diff_pair.gm in
+  let buffer_loading =
+    match buffer with
+    | Some b -> 0.25 *. (b.driver.Mos.ss.Mos.cgs +. b.driver.Mos.ss.Mos.cgb)
+    | None -> 0.
+  in
+  let c_comp =
+    match (stage2, c_internal) with
+    | Some s, _ ->
+      (* Miller node: the explicit Cc plus the second-stage driver's
+         gate-drain overlap (an un-nulled Miller path) and the first
+         stage's own output parasitics. *)
+      s.cc +. s.driver.Mos.ss.Mos.cgd +. diff_output_parasitic diff
+    | None, Some c -> c +. diff_output_parasitic diff +. buffer_loading
+    | None, None -> spec.cl +. diff_output_parasitic diff +. buffer_loading
+  in
+  let ugf = gm1 /. (2. *. Float.pi *. c_comp) in
+  let slew_rate =
+    let sr1 = diff.Diff_pair.spec.Diff_pair.itail /. c_comp in
+    match stage2 with
+    | Some s -> Float.min sr1 (s.i2 /. spec.cl)
+    | None -> sr1
+  in
+  let zout =
+    match buffer with
+    | Some b -> 1. /. (b.driver.Mos.gm +. b.driver.Mos.gmb)
+    | None -> (
+      match stage2 with
+      | Some s -> 1. /. (s.driver.Mos.gds +. s.sink.Mos.gds)
+      | None -> diff.Diff_pair.rout)
+  in
+  let phase_margin =
+    match stage2 with
+    | Some s ->
+      let p2 = s.driver.Mos.gm /. (2. *. Float.pi *. spec.cl) in
+      90. -. deg_atan (ugf /. p2)
+    | None -> (
+      match buffer with
+      | Some b ->
+        let p2 = b.driver.Mos.gm /. (2. *. Float.pi *. spec.cl) in
+        90. -. deg_atan (ugf /. p2)
+      | None -> 88.)
+  in
+  let i2 = match stage2 with Some s -> s.i2 | None -> 0. in
+  let i_buf = match buffer with Some b -> b.i_buf | None -> 0. in
+  (* Reference branch + tail (counted inside the diff design) + stage
+     currents. *)
+  let dc_power = diff.Diff_pair.perf.Perf.dc_power +. (vdd *. (i2 +. i_buf)) in
+  let gate_area =
+    diff.Diff_pair.perf.Perf.gate_area
+    +. (match stage2 with
+       | Some s ->
+         Mos.gate_area s.driver.Mos.geom +. Mos.gate_area s.sink.Mos.geom
+       | None -> 0.)
+    +.
+    match buffer with
+    | Some b ->
+      Mos.gate_area b.driver.Mos.geom +. Mos.gate_area b.sink.Mos.geom
+    | None -> 0.
+  in
+  let cap_area =
+    let c_explicit =
+      (match stage2 with Some s -> s.cc | None -> 0.)
+      +. match c_internal with Some c -> c | None -> 0.
+    in
+    Proc.capacitor_area process c_explicit
+  in
+  let total_area =
+    gate_area +. cap_area
+    +. Proc.resistor_area process
+         diff.Diff_pair.tail.Bias.Current_mirror.r_bias
+  in
+  let output_dc =
+    match (stage2, buffer) with
+    | Some _, None -> vdd /. 2.
+    | Some _, Some b -> (vdd /. 2.) -. b.driver.Mos.vgs
+    | None, None -> diff.Diff_pair.output_dc
+    | None, Some b -> diff.Diff_pair.output_dc -. b.driver.Mos.vgs
+  in
+  let perf =
+    {
+      Perf.empty with
+      Perf.gate_area;
+      total_area;
+      dc_power;
+      gain = Some gain;
+      ugf = Some ugf;
+      cmrr = Some diff.Diff_pair.cmrr;
+      slew_rate = Some slew_rate;
+      zout = Some zout;
+      current = Some spec.ibias;
+      phase_margin = Some phase_margin;
+      noise = diff.Diff_pair.perf.Perf.noise;
+      offset_sigma = diff.Diff_pair.perf.Perf.offset_sigma;
+    }
+  in
+  {
+    spec;
+    diff;
+    stage2;
+    buffer;
+    c_internal;
+    input_cm = diff.Diff_pair.input_cm;
+    output_dc;
+    gain;
+    ugf;
+    slew_rate;
+    zout;
+    phase_margin;
+    perf;
+  }
+
+let design (process : Proc.t) spec =
+  if spec.av <= 0. || spec.ugf <= 0. || spec.ibias <= 0. || spec.cl <= 0.
+  then raise (Infeasible "non-positive spec values");
+  (* Buffer gain is roughly 0.85; require the pre-buffer stages to make
+     up for it, with a 30 % design margin on top. *)
+  let margin = 1.3 in
+  let ab_guess = if spec.buffer then 0.85 else 1. in
+  let av_needed = spec.av *. margin /. ab_guess in
+  (* The spec's Ibias is the bias-reference current; the tail runs at a
+     mirror multiple of it so the input pair can realise the gm the UGF
+     spec demands at a healthy overdrive (~0.2 V). *)
+  let itail_for gm1 ~c_comp =
+    let from_gm = 0.2 *. gm1 in
+    let from_sr =
+      match spec.sr with Some sr -> sr *. c_comp | None -> 0.
+    in
+    Float.max spec.ibias (Float.max from_gm from_sr)
+  in
+  let diff_spec gain_target ~itail =
+    {
+      Diff_pair.load = spec.diff_load;
+      av = gain_target;
+      itail;
+      iref = spec.ibias;
+      cl = spec.cl;
+      tail_topology = spec.bias_topology;
+    }
+  in
+  (* --- Single-stage attempt. --- *)
+  let single =
+    if spec.force_stage2 then None
+    else
+    (* Compensation capacitance: the load itself when unbuffered, an
+       explicit internal cap when buffered (floored at 0.3 pF of
+       realisable capacitance). *)
+    let c_comp, c_internal =
+      if spec.buffer then begin
+        (* Buffered: decouple the comp cap from the load.  A 1 pF-class
+           internal cap keeps the tail current modest. *)
+        let c = Float.max 0.5e-12 (0.1 *. spec.cl) in
+        (c, Some c)
+      end
+      else (spec.cl, None)
+    in
+    let gm1 = 2. *. Float.pi *. spec.ugf *. c_comp in
+    let itail = itail_for gm1 ~c_comp in
+    begin
+      (* First pass ignores parasitics; the second resizes against the
+         realised device capacitances at the output node, including the
+         (bootstrapped) input capacitance of the buffer when present. *)
+      let diff0 =
+        Diff_pair.design_for_gm ~gm:gm1 process
+          (diff_spec av_needed ~itail)
+      in
+      let buffer_loading =
+        if spec.buffer then begin
+          let b, _ = design_buffer process ~spec ~in_dc:3.8 in
+          0.25 *. (b.driver.Mos.ss.Mos.cgs +. b.driver.Mos.ss.Mos.cgb)
+        end
+        else 0.
+      in
+      let c_eff = c_comp +. diff_output_parasitic diff0 +. buffer_loading in
+      let gm1 = 2. *. Float.pi *. spec.ugf *. c_eff in
+      let itail = itail_for gm1 ~c_comp:c_eff in
+      let diff =
+        Diff_pair.design_for_gm ~gm:gm1 process
+          (diff_spec av_needed ~itail)
+      in
+      if Float.abs diff.Diff_pair.gain >= av_needed /. margin then begin
+        let buffer, _ =
+          if spec.buffer then begin
+            let sink_vov =
+              diff.Diff_pair.tail.Bias.Current_mirror.spec
+                .Bias.Current_mirror.vov
+            in
+            let b, out_dc =
+              design_buffer ~sink_vov process ~spec
+                ~in_dc:diff.Diff_pair.output_dc
+            in
+            (Some b, out_dc)
+          end
+          else (None, diff.Diff_pair.output_dc)
+        in
+        Some (assemble process spec ~diff ~stage2:None ~buffer ~c_internal)
+      end
+      else None
+    end
+  in
+  match single with
+  | Some d -> d
+  | None ->
+    (* --- Two-stage (Miller-compensated). --- *)
+    let cc = Float.max 1e-12 (0.22 *. spec.cl) in
+    let a1_target = Float.max 10. (Float.sqrt av_needed) in
+    (* First pass sizes against Cc alone; the second resizes against the
+       realised Miller-node parasitics (stage-2 overlap + first-stage
+       drains). *)
+    let gm1 = 2. *. Float.pi *. spec.ugf *. cc in
+    let itail = itail_for gm1 ~c_comp:cc in
+    let diff0 =
+      Diff_pair.design_for_gm ~gm:gm1 process (diff_spec a1_target ~itail)
+    in
+    let stage2_0 = design_stage2 process ~diff:diff0 ~gm1 ~cc ~cl:spec.cl in
+    let c_eff =
+      cc
+      +. stage2_0.driver.Mos.ss.Mos.cgd
+      +. diff_output_parasitic diff0
+    in
+    let gm1 = 2. *. Float.pi *. spec.ugf *. c_eff in
+    let itail = itail_for gm1 ~c_comp:c_eff in
+    let diff =
+      Diff_pair.design_for_gm ~gm:gm1 process (diff_spec a1_target ~itail)
+    in
+    let stage2 = design_stage2 process ~diff ~gm1 ~cc ~cl:spec.cl in
+    let a_total = Float.abs diff.Diff_pair.gain *. stage2.gain2 in
+    if a_total < av_needed /. margin then
+      raise
+        (Infeasible
+           (Printf.sprintf
+              "gain %.0f unreachable: two stages deliver only %.0f" spec.av
+              a_total));
+    let buffer =
+      if spec.buffer then begin
+        let sink_vov =
+          diff.Diff_pair.tail.Bias.Current_mirror.spec.Bias.Current_mirror.vov
+        in
+        let b, _ =
+          design_buffer ~sink_vov process ~spec
+            ~in_dc:(process.Proc.vdd /. 2.)
+        in
+        Some b
+      end
+      else None
+    in
+    assemble process spec ~diff ~stage2:(Some stage2) ~buffer
+      ~c_internal:None
+
+let fragment (process : Proc.t) design =
+  let b = B.create ~title:"opamp" in
+  let dfrag = Diff_pair.fragment process design.diff in
+  let o1 =
+    match (design.stage2, design.buffer) with
+    | None, None -> "out"
+    | _ -> "o1"
+  in
+  B.instance b ~prefix:"d1"
+    ~port_map:
+      [
+        (Fragment.port dfrag "inp", "inp");
+        (Fragment.port dfrag "inn", "inn");
+        (Fragment.port dfrag "out", o1);
+        (Fragment.port dfrag "vdd", "vdd");
+        (Fragment.port dfrag "bias", "nbias");
+      ]
+    dfrag.Fragment.netlist;
+  (match design.c_internal with
+  | Some c -> B.capacitor b ~a:o1 ~b:"0" c
+  | None -> ());
+  let put (d : Mos.sized) ~dn ~gn ~sn ~bn =
+    B.mosfet b d.Mos.card ~d:dn ~g:gn ~s:sn ~b:bn ~w:d.Mos.geom.Mos.w
+      ~l:d.Mos.geom.Mos.l
+  in
+  let o2 =
+    match design.stage2 with
+    | None -> o1
+    | Some s ->
+      let o2 = match design.buffer with None -> "out" | Some _ -> "o2" in
+      put s.driver ~dn:o2 ~gn:o1 ~sn:"vdd" ~bn:"vdd";
+      put s.sink ~dn:o2 ~gn:"nbias" ~sn:"0" ~bn:"0";
+      (* Miller compensation with a nulling resistor. *)
+      let mid = B.fresh_node ~hint:"cz" b in
+      B.resistor b ~a:o1 ~b:mid s.rz;
+      B.capacitor b ~a:mid ~b:o2 s.cc;
+      o2
+  in
+  (match design.buffer with
+  | None -> ()
+  | Some buf ->
+    put buf.driver ~dn:"vdd" ~gn:o2 ~sn:"out" ~bn:"0";
+    put buf.sink ~dn:"out" ~gn:"nbias" ~sn:"0" ~bn:"0");
+  Fragment.make (B.finish_unvalidated b)
+    [ ("vdd", "vdd"); ("inp", "inp"); ("inn", "inn"); ("out", "out") ]
+
+let device_count design =
+  let frag_count =
+    (* diff pair: 2 pair + 2 loads + tail devices. *)
+    4
+    + List.length design.diff.Diff_pair.tail.Bias.Current_mirror.devices
+  in
+  frag_count
+  + (match design.stage2 with Some _ -> 2 | None -> 0)
+  + match design.buffer with Some _ -> 2 | None -> 0
+
+let describe design =
+  Printf.sprintf "%s + %s%s%s, %d devices"
+    (Bias.mirror_topology_name design.spec.bias_topology)
+    (Diff_pair.load_name design.spec.diff_load)
+    (match design.stage2 with Some _ -> " + CS2" | None -> "")
+    (match design.buffer with Some _ -> " + buffer" | None -> "")
+    (device_count design)

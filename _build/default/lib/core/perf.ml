@@ -1,0 +1,75 @@
+type t = {
+  gate_area : float;
+  total_area : float;
+  dc_power : float;
+  gain : float option;
+  ugf : float option;
+  bandwidth : float option;
+  cmrr : float option;
+  slew_rate : float option;
+  zout : float option;
+  current : float option;
+  offset : float option;
+  phase_margin : float option;
+  noise : float option;
+  offset_sigma : float option;
+}
+
+let empty =
+  {
+    gate_area = 0.;
+    total_area = 0.;
+    dc_power = 0.;
+    gain = None;
+    ugf = None;
+    bandwidth = None;
+    cmrr = None;
+    slew_rate = None;
+    zout = None;
+    current = None;
+    offset = None;
+    phase_margin = None;
+    noise = None;
+    offset_sigma = None;
+  }
+
+let cmrr_db t =
+  Option.map (fun c -> Ape_util.Float_ext.db_of_gain c) t.cmrr
+
+let attr_list t =
+  let eng = Ape_util.Units.to_eng in
+  let base =
+    [
+      ("gate_area", Printf.sprintf "%.1f um^2" (t.gate_area /. 1e-12));
+      ("total_area", Printf.sprintf "%.1f um^2" (t.total_area /. 1e-12));
+      ("dc_power", eng t.dc_power ^ "W");
+    ]
+  in
+  let opt name unit v =
+    match v with Some x -> [ (name, eng x ^ unit) ] | None -> []
+  in
+  base
+  @ opt "gain" "" t.gain
+  @ opt "ugf" "Hz" t.ugf
+  @ opt "bandwidth" "Hz" t.bandwidth
+  @ (match cmrr_db t with
+    | Some db -> [ ("cmrr", Printf.sprintf "%.1f dB" db) ]
+    | None -> [])
+  @ opt "slew_rate" "V/s" t.slew_rate
+  @ opt "zout" "Ohm" t.zout
+  @ opt "current" "A" t.current
+  @ opt "offset" "V" t.offset
+  @ (match t.phase_margin with
+    | Some pm -> [ ("phase_margin", Printf.sprintf "%.1f deg" pm) ]
+    | None -> [])
+  @ opt "noise" "V/rtHz" t.noise
+  @ opt "offset_sigma" "V" t.offset_sigma
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%s=%s" k v)
+    (attr_list t);
+  Format.fprintf fmt "}"

@@ -1,0 +1,70 @@
+module Proc = Ape_process.Process
+module B = Ape_circuit.Builder
+
+type spec = {
+  gain : float;
+  bandwidth : float;
+  sr : float;
+  c_hold : float;
+  r_on : float;
+}
+
+let spec ?(c_hold = 10e-12) ?(r_on = 1e3) ~gain ~bandwidth ~sr () =
+  { gain; bandwidth; sr; c_hold; r_on }
+
+type design = {
+  spec : spec;
+  amp : Closed_loop.design;
+  response_time_est : float;
+  perf : Perf.t;
+}
+
+let design (process : Proc.t) spec =
+  if spec.gain < 1. then invalid_arg "Sample_hold.design: gain < 1";
+  let amp_spec =
+    Closed_loop.spec ~cl:10e-12 ~sr:(2. *. spec.sr)
+      ~bandwidth:spec.bandwidth
+      (Closed_loop.Non_inverting { gain = spec.gain })
+  in
+  let amp = Closed_loop.design process amp_spec in
+  (* Acquisition: switch RC to 1 % (4.6·τ) + amplifier linear settling
+     (4.6 time constants of the closed-loop pole) + slew of a half-swing
+     step. *)
+  let tau_switch = spec.r_on *. spec.c_hold in
+  let bw_cl = amp.Closed_loop.bandwidth_est in
+  let t_linear = 4.6 /. (2. *. Float.pi *. bw_cl) in
+  let sr_amp =
+    match amp.Closed_loop.opamp.Opamp.perf.Perf.slew_rate with
+    | Some s -> s
+    | None -> spec.sr
+  in
+  let t_slew = process.Proc.vdd /. 2. /. sr_amp in
+  let response_time_est = (4.6 *. tau_switch) +. t_linear +. t_slew in
+  let perf =
+    {
+      amp.Closed_loop.perf with
+      Perf.total_area =
+        amp.Closed_loop.perf.Perf.total_area
+        +. Proc.capacitor_area process spec.c_hold;
+      slew_rate = Some sr_amp;
+      bandwidth = Some bw_cl;
+      gain = Some (Float.abs amp.Closed_loop.gain_est);
+    }
+  in
+  { spec; amp; response_time_est; perf }
+
+let fragment (process : Proc.t) design =
+  let b = B.create ~title:"sample_hold" in
+  let amp_frag = Closed_loop.fragment process design.amp in
+  B.switch b ~ron:design.spec.r_on ~a:"in" ~b:"hold" ~ctrl:"ctrl";
+  B.capacitor b ~a:"hold" ~b:"0" design.spec.c_hold;
+  B.instance b ~prefix:"amp"
+    ~port_map:
+      [
+        (Fragment.port amp_frag "in", "hold");
+        (Fragment.port amp_frag "out", "out");
+        (Fragment.port amp_frag "vdd", "vdd");
+      ]
+    amp_frag.Fragment.netlist;
+  Fragment.make (B.finish_unvalidated b)
+    [ ("vdd", "vdd"); ("in", "in"); ("ctrl", "ctrl"); ("out", "out") ]

@@ -1,0 +1,30 @@
+(** Level-4 sample-and-hold (paper Figure 3b, Table 5 s&h row): a
+    voltage-controlled sampling switch, a hold capacitor, and a
+    non-inverting gain amplifier built from the level-3 opamp. *)
+
+type spec = {
+  gain : float;  (** hold-path gain (≥ 1; the paper's example is 2) *)
+  bandwidth : float;  (** amplifier −3 dB bandwidth, Hz *)
+  sr : float;  (** required slew rate, V/s *)
+  c_hold : float;  (** hold capacitance, F *)
+  r_on : float;  (** sampling-switch on-resistance, Ω *)
+}
+
+val spec :
+  ?c_hold:float -> ?r_on:float -> gain:float -> bandwidth:float -> sr:float ->
+  unit -> spec
+(** Defaults: 10 pF hold cap, 1 kΩ switch. *)
+
+type design = {
+  spec : spec;
+  amp : Closed_loop.design;  (** non-inverting gain stage *)
+  response_time_est : float;
+      (** acquisition to 1 %: switch-RC settling + amplifier settling +
+          slew, s *)
+  perf : Perf.t;
+}
+
+val design : Ape_process.Process.t -> spec -> design
+
+val fragment : Ape_process.Process.t -> design -> Fragment.t
+(** Ports: [vdd], [in], [ctrl] (switch gate, high = track), [out]. *)

@@ -1,0 +1,93 @@
+(** Simulation-based verification of estimator designs — the "sim"
+    columns of the paper's Tables 2, 3 and 5.
+
+    Each [sim_*] function elaborates the design's netlist fragment,
+    wraps it in the appropriate testbench (supply, input drive, load),
+    solves it with {!Ape_spice} and returns a {!Perf.t} of {e measured}
+    values, directly comparable with the design's estimated [perf].
+
+    High-gain stages whose output level is sensitive to the input DC are
+    biased by a servo loop (Brent iteration on the input source), the
+    programmatic equivalent of SPICE [.NODESET] fiddling. *)
+
+exception Verification_failed of string
+
+val set_source_dc :
+  name:string -> dc:float -> Ape_circuit.Netlist.t -> Ape_circuit.Netlist.t
+(** Functional update of one named V/I source's DC value; raises
+    [Not_found] if absent. *)
+
+val set_source_ac :
+  name:string -> ac:float -> Ape_circuit.Netlist.t -> Ape_circuit.Netlist.t
+
+val servo_dc :
+  source:string ->
+  out:Ape_circuit.Netlist.node ->
+  target:float ->
+  lo:float ->
+  hi:float ->
+  Ape_circuit.Netlist.t ->
+  Ape_circuit.Netlist.t * Ape_spice.Dc.op
+(** Adjust the named source's DC until [V(out)] lands on [target]
+    (1 mV tolerance); returns the adjusted netlist and its operating
+    point.  Raises {!Verification_failed} when no bias in [[lo, hi]]
+    reaches the target. *)
+
+(** {1 Level-2 component verification} *)
+
+val sim_dc_volt :
+  Ape_process.Process.t -> Bias.Dc_volt.design -> Perf.t
+
+val sim_mirror :
+  Ape_process.Process.t -> Bias.Current_mirror.design -> Perf.t
+
+val sim_gain_stage :
+  Ape_process.Process.t -> Gain_stage.design -> Perf.t
+
+val sim_diff_pair :
+  Ape_process.Process.t -> Diff_pair.design -> Perf.t
+(** Includes the measured input-referred noise density at 1 kHz (MNA
+    noise analysis) in the [noise] field. *)
+
+val monte_carlo_offset :
+  ?runs:int ->
+  ?seed:int ->
+  Ape_process.Process.t ->
+  Diff_pair.design ->
+  float
+(** Monte-Carlo mismatch: every MOSFET's threshold is perturbed by a
+    Pelgrom-distributed sample (σ = A_VT/√(WL)) and the input-referred
+    offset of each sample circuit is measured by a servo; returns the
+    sample standard deviation (V).  Default 25 runs. *)
+
+(** {1 Level-3 opamp verification} *)
+
+val sim_opamp :
+  ?slew:bool -> Ape_process.Process.t -> Opamp.design -> Perf.t
+(** Open-loop AC testbench (differential drive, servoed offset) for
+    gain/UGF/CMRR/Z_out/power/area, plus — when [slew] is true
+    (default) — a unity-feedback transient step for the slew rate. *)
+
+(** {1 Level-4 module verification} *)
+
+type module_sim = {
+  perf : Perf.t;
+  response_time : float option;
+      (** S&H acquisition / comparator & ADC delay / DAC settling, s *)
+  f0 : float option;  (** band-pass centre frequency, Hz *)
+  f_20db : float option;  (** low-pass −20 dB frequency, Hz *)
+  dc_code_error : float option;
+      (** ADC: worst trip-point error in LSB; DAC: output error in LSB *)
+}
+
+val sim_module :
+  Ape_process.Process.t -> Module_lib.design -> module_sim
+(** Dispatches to the appropriate testbench:
+    - audio amp → open-loop AC (gain, −3 dB bandwidth, power, area);
+    - closed-loop amps / integrator → AC around the DC feedback point;
+    - filters → AC sweep (gain, −3 dB/−20 dB edges or f₀/BW);
+    - S&H → track-mode AC + step transient (acquisition to 1 %);
+    - comparator → step-overdrive transient (delay);
+    - flash ADC → DC power/area + mid-code trip-point check + the
+      comparator's transient delay;
+    - DAC → mid-code static accuracy + MSB-step settling transient. *)

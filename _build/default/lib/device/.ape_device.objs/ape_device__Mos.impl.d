@@ -1,0 +1,1 @@
+lib/device/mos.ml: Ape_process Ape_util Float Format

@@ -1,0 +1,1 @@
+lib/device/mos.mli: Ape_process Format

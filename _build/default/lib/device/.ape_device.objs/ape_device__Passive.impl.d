@@ -1,0 +1,1 @@
+lib/device/passive.ml: Ape_process Ape_util Array Float Format

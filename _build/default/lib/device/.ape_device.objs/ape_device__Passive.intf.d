@@ -1,0 +1,1 @@
+lib/device/passive.mli: Ape_process Format

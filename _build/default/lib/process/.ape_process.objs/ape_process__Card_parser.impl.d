@@ -1,0 +1,1 @@
+lib/process/card_parser.ml: Ape_symbolic Ape_util List Model_card Printf Process String

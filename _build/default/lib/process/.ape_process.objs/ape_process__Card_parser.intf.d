@@ -1,0 +1,1 @@
+lib/process/card_parser.mli: Model_card Process

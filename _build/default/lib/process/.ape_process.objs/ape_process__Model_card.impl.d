@@ -1,0 +1,1 @@
+lib/process/model_card.ml: Ape_util Float Format Printf

@@ -1,0 +1,1 @@
+lib/process/model_card.mli: Format

@@ -1,0 +1,1 @@
+lib/process/process.ml: Ape_util Format Model_card

@@ -1,0 +1,1 @@
+lib/process/process.mli: Format Model_card

@@ -1,0 +1,175 @@
+exception Bad_card of string
+
+let strip_comments text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         let trimmed = String.trim line in
+         not (String.length trimmed > 0 && trimmed.[0] = '*'))
+  |> String.concat "\n"
+
+(* Join SPICE continuation lines ('+' in column 1) into their parent. *)
+let join_continuations text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if String.length trimmed > 0 && trimmed.[0] = '+' then begin
+        match acc with
+        | [] -> loop [ String.sub trimmed 1 (String.length trimmed - 1) ] rest
+        | prev :: acc' ->
+          let joined =
+            prev ^ " " ^ String.sub trimmed 1 (String.length trimmed - 1)
+          in
+          loop (joined :: acc') rest
+      end
+      else loop (line :: acc) rest
+  in
+  String.concat "\n" (loop [] lines)
+
+let join_lines text = join_continuations (strip_comments text)
+
+let tokenize_card body =
+  (* Split "KEY=VAL KEY = VAL ..." into pairs, tolerating spaces around
+     '='. *)
+  let body =
+    String.map (fun c -> if c = '(' || c = ')' || c = ',' then ' ' else c) body
+  in
+  (* "K = V" / "K =V" / "K= V" -> "K=V" *)
+  let body =
+    Ape_util.Strings.replace_fixpoint ~pattern:" =" ~with_:"=" body
+  in
+  let body =
+    Ape_util.Strings.replace_fixpoint ~pattern:"= " ~with_:"=" body
+  in
+  String.split_on_char ' ' body
+  |> List.filter (fun s -> String.length s > 0)
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok '=' with
+         | None -> None
+         | Some i ->
+           let key = String.uppercase_ascii (String.sub tok 0 i) in
+           let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+           Some (key, value))
+
+let float_value key value =
+  match Ape_symbolic.Parser.parse_number value with
+  | Some v -> v
+  | None -> raise (Bad_card (Printf.sprintf "bad value for %s: %s" key value))
+
+let apply_params (card : Model_card.t) params =
+  List.fold_left
+    (fun (card : Model_card.t) (key, value) ->
+      let v () = float_value key value in
+      match key with
+      | "LEVEL" ->
+        let level =
+          match int_of_float (v ()) with
+          | 1 -> Model_card.Level1
+          | 2 -> Model_card.Level2
+          | 3 -> Model_card.Level3
+          | 4 | 13 -> Model_card.Bsim1
+          | n -> raise (Bad_card (Printf.sprintf "unsupported LEVEL=%d" n))
+        in
+        { card with Model_card.level }
+      | "VTO" | "VTH0" -> { card with Model_card.vto = v () }
+      | "KP" -> { card with Model_card.kp = v () }
+      | "GAMMA" -> { card with Model_card.gamma = v () }
+      | "PHI" -> { card with Model_card.phi = v () }
+      | "LAMBDA" -> { card with Model_card.lambda = v () }
+      | "LREF" -> { card with Model_card.lref = v () }
+      | "TOX" -> { card with Model_card.tox = v () }
+      | "U0" | "UO" ->
+        (* SPICE U0 is in cm²/Vs; accept SI if the magnitude is tiny. *)
+        let raw = v () in
+        let u0 = if raw > 1. then raw *. 1e-4 else raw in
+        { card with Model_card.u0 = u0 }
+      | "THETA" -> { card with Model_card.theta = v () }
+      | "VMAX" -> { card with Model_card.vmax = v () }
+      | "ETA" -> { card with Model_card.eta = v () }
+      | "CGSO" -> { card with Model_card.cgso = v () }
+      | "CGDO" -> { card with Model_card.cgdo = v () }
+      | "CGBO" -> { card with Model_card.cgbo = v () }
+      | "CJ" -> { card with Model_card.cj = v () }
+      | "MJ" -> { card with Model_card.mj = v () }
+      | "CJSW" -> { card with Model_card.cjsw = v () }
+      | "MJSW" -> { card with Model_card.mjsw = v () }
+      | "PB" -> { card with Model_card.pb = v () }
+      | "LD" -> { card with Model_card.ld = v () }
+      | "IS" -> { card with Model_card.is_leak = v () }
+      | "KF" -> { card with Model_card.kf = v () }
+      | "AF" -> { card with Model_card.af = v () }
+      | "AVT" -> { card with Model_card.avt = v () }
+      | _ -> card (* unknown keys are legal in real decks; skip *))
+    card params
+
+let parse_card text =
+  let text = join_continuations (strip_comments text) in
+  let text = String.trim text in
+  let upper = String.uppercase_ascii text in
+  if not (String.length upper >= 6 && String.sub upper 0 6 = ".MODEL") then
+    raise (Bad_card "card must start with .MODEL");
+  let rest = String.trim (String.sub text 6 (String.length text - 6)) in
+  (* name, type, then parameter body *)
+  let split_word s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      ( String.sub s 0 i,
+        String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let name, rest = split_word rest in
+  let type_word, body = split_word rest in
+  let mos_type =
+    match String.uppercase_ascii type_word with
+    | "NMOS" -> Model_card.Nmos
+    | "PMOS" -> Model_card.Pmos
+    | other -> raise (Bad_card ("unsupported device type " ^ other))
+  in
+  let base =
+    match mos_type with
+    | Model_card.Nmos -> Model_card.default_nmos
+    | Model_card.Pmos -> Model_card.default_pmos
+  in
+  let card = apply_params { base with Model_card.name; mos_type } (tokenize_card body) in
+  (* Keep u0 and kp consistent: KP wins if both were given. *)
+  let kp_given = List.exists (fun (k, _) -> k = "KP") (tokenize_card body) in
+  let u0_given =
+    List.exists (fun (k, _) -> k = "U0" || k = "UO") (tokenize_card body)
+  in
+  let cox = Model_card.cox card in
+  if kp_given then { card with Model_card.u0 = card.Model_card.kp /. cox }
+  else if u0_given then
+    { card with Model_card.kp = card.Model_card.u0 *. cox }
+  else card
+
+let parse_deck text =
+  let text = join_continuations (strip_comments text) in
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let trimmed = String.trim line in
+         let upper = String.uppercase_ascii trimmed in
+         if String.length upper >= 6 && String.sub upper 0 6 = ".MODEL" then
+           Some (parse_card trimmed)
+         else None)
+
+let process_of_deck ?name ?(base = Process.c12) text =
+  let cards = parse_deck text in
+  let find mt =
+    match
+      List.find_opt (fun c -> c.Model_card.mos_type = mt) cards
+    with
+    | Some c -> c
+    | None ->
+      raise
+        (Bad_card
+           (match mt with
+           | Model_card.Nmos -> "deck has no NMOS card"
+           | Model_card.Pmos -> "deck has no PMOS card"))
+  in
+  {
+    base with
+    Process.name = (match name with Some n -> n | None -> base.Process.name);
+    nmos = find Model_card.Nmos;
+    pmos = find Model_card.Pmos;
+  }

@@ -1,0 +1,27 @@
+(** Parser for SPICE [.MODEL] cards.
+
+    Accepts the classic format
+    [.MODEL <name> NMOS|PMOS (KEY=value KEY=value ...)], case-insensitive
+    keys, SPICE magnitude suffixes on values, continuation lines starting
+    with [+], and [*] comments.  Unknown keys are ignored (SPICE decks
+    carry many parameters the Level-1..3 equations never read); missing
+    keys fall back to the built-in defaults of the polarity. *)
+
+exception Bad_card of string
+
+val join_lines : string -> string
+(** Strip [*]-comment lines and join [+]-continuation lines; exposed for
+    the netlist parser, which shares SPICE's line discipline. *)
+
+val parse_card : string -> Model_card.t
+(** Parse a single (possibly multi-line) [.MODEL] card.  Raises
+    {!Bad_card}. *)
+
+val parse_deck : string -> Model_card.t list
+(** Parse every [.MODEL] card in a deck, ignoring other lines. *)
+
+val process_of_deck :
+  ?name:string -> ?base:Process.t -> string -> Process.t
+(** Build a process from a deck containing one NMOS and one PMOS card;
+    remaining process constants come from [base] (default {!Process.c12}).
+    Raises {!Bad_card} when a polarity is missing. *)

@@ -1,0 +1,117 @@
+type mos_type = Nmos | Pmos
+type level = Level1 | Level2 | Level3 | Bsim1
+
+type t = {
+  name : string;
+  mos_type : mos_type;
+  level : level;
+  vto : float;
+  kp : float;
+  gamma : float;
+  phi : float;
+  lambda : float;
+  lref : float;
+  tox : float;
+  u0 : float;
+  theta : float;
+  vmax : float;
+  eta : float;
+  cgso : float;
+  cgdo : float;
+  cgbo : float;
+  cj : float;
+  mj : float;
+  cjsw : float;
+  mjsw : float;
+  pb : float;
+  ld : float;
+  is_leak : float;
+  kf : float;
+  af : float;
+  avt : float;
+}
+
+let cox card = Ape_util.Units.eps_ox /. card.tox
+let polarity card = match card.mos_type with Nmos -> 1. | Pmos -> -1.
+
+let lambda_at card l =
+  if l <= 0. then invalid_arg "Model_card.lambda_at: l <= 0";
+  card.lambda *. card.lref /. l
+
+let vth card ~vsb =
+  let phi = card.phi in
+  (* Clamp forward body bias so sqrt stays real during Newton steps. *)
+  let arg = Float.max 1e-3 (phi +. vsb) in
+  Float.abs card.vto +. (card.gamma *. (Float.sqrt arg -. Float.sqrt phi))
+
+(* 1.2 µm-class CMOS, MOSIS-era values; tox 25 nm gives
+   Cox = 1.38 mF/m², u0 chosen so KP = u0 * Cox. *)
+let default_nmos =
+  {
+    name = "CMOSN12";
+    mos_type = Nmos;
+    level = Level1;
+    vto = 0.75;
+    kp = 75e-6;
+    gamma = 0.40;
+    phi = 0.60;
+    lambda = 0.05;
+    lref = 2.4e-6;
+    tox = 25e-9;
+    u0 = 75e-6 /. (Ape_util.Units.eps_ox /. 25e-9);
+    theta = 0.08;
+    vmax = 1.5e5;
+    eta = 0.01;
+    cgso = 3.0e-10;
+    cgdo = 3.0e-10;
+    cgbo = 4.0e-10;
+    cj = 3.0e-4;
+    mj = 0.5;
+    cjsw = 3.0e-10;
+    mjsw = 0.33;
+    pb = 0.8;
+    ld = 0.15e-6;
+    is_leak = 1e-14;
+    kf = 3e-24;
+    af = 1.0;
+    avt = 15e-9;
+  }
+
+let default_pmos =
+  {
+    default_nmos with
+    name = "CMOSP12";
+    mos_type = Pmos;
+    vto = -0.85;
+    kp = 25e-6;
+    gamma = 0.50;
+    lambda = 0.06;
+    u0 = 25e-6 /. (Ape_util.Units.eps_ox /. 25e-9);
+    theta = 0.10;
+    vmax = 1.0e5;
+    cj = 4.5e-4;
+    kf = 1e-24;
+    avt = 20e-9;
+  }
+
+let with_level level card = { card with level }
+
+let level_to_int = function
+  | Level1 -> 1
+  | Level2 -> 2
+  | Level3 -> 3
+  | Bsim1 -> 4
+
+let to_spice card =
+  Printf.sprintf
+    ".MODEL %s %s (LEVEL=%d VTO=%g KP=%g GAMMA=%g PHI=%g LAMBDA=%g TOX=%g \
+     U0=%g THETA=%g VMAX=%g ETA=%g CGSO=%g CGDO=%g CGBO=%g CJ=%g MJ=%g \
+     CJSW=%g MJSW=%g PB=%g LD=%g IS=%g LREF=%g KF=%g AF=%g AVT=%g)"
+    card.name
+    (match card.mos_type with Nmos -> "NMOS" | Pmos -> "PMOS")
+    (level_to_int card.level) card.vto card.kp card.gamma card.phi card.lambda
+    card.tox card.u0 card.theta card.vmax card.eta card.cgso card.cgdo
+    card.cgbo card.cj card.mj card.cjsw card.mjsw card.pb card.ld
+    card.is_leak card.lref card.kf card.af card.avt
+
+let pp fmt card = Format.pp_print_string fmt (to_spice card)

@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Ape_circuit Ape_util Array Complex Dc Engine Float List

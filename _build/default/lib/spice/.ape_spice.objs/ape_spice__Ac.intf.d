@@ -1,0 +1,1 @@
+lib/spice/ac.mli: Ape_circuit Complex Dc

@@ -1,0 +1,1 @@
+lib/spice/awe.ml: Ape_circuit Ape_util Array Complex Dc Engine Float List

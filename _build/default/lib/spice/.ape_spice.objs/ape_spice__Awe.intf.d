@@ -1,0 +1,1 @@
+lib/spice/awe.mli: Ape_circuit Complex Dc

@@ -1,0 +1,1 @@
+lib/spice/dc.ml: Ape_circuit Ape_device Ape_util Array Engine Float Format List String

@@ -1,0 +1,1 @@
+lib/spice/dc.mli: Ape_circuit Ape_device Engine Format

@@ -1,0 +1,1 @@
+lib/spice/engine.ml: Ape_circuit Ape_device Ape_util Array Hashtbl List

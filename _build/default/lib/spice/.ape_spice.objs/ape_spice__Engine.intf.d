@@ -1,0 +1,1 @@
+lib/spice/engine.mli: Ape_circuit Ape_device Ape_util

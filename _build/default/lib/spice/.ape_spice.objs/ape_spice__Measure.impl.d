@@ -1,0 +1,1 @@
+lib/spice/measure.ml: Ac Ape_util Array Complex Float

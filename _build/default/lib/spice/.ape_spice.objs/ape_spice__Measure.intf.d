@@ -1,0 +1,1 @@
+lib/spice/measure.mli: Ape_circuit Dc

@@ -1,0 +1,1 @@
+lib/spice/noise.ml: Ac Ape_circuit Ape_device Ape_process Ape_util Array Complex Dc Engine Float List

@@ -1,0 +1,1 @@
+lib/spice/noise.mli: Ape_circuit Dc

@@ -1,0 +1,1 @@
+lib/spice/sweep.ml: Ape_circuit Dc List String

@@ -1,0 +1,1 @@
+lib/spice/sweep.mli: Ape_circuit Dc

@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Ape_circuit Ape_util Array Dc Engine Float List

@@ -1,0 +1,68 @@
+module N = Ape_circuit.Netlist
+module Rmat = Ape_util.Matrix.Rmat
+module Cmat = Ape_util.Matrix.Cmat
+
+type solution = { freq : float; x : Complex.t array }
+type sweep = { op : Dc.op; points : solution list }
+
+let complex re im = { Complex.re; im }
+
+let solve_at (op : Dc.op) freq =
+  let netlist = op.Dc.netlist and index = op.Dc.index in
+  let n = Engine.size index in
+  (* Real part: DC Jacobian at the operating point (gmin kept tiny). *)
+  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
+  let c = Engine.stamp_capacitances netlist index op.Dc.x in
+  let omega = 2. *. Float.pi *. freq in
+  let a = Cmat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let gre = Rmat.get g i j and cim = Rmat.get c i j in
+      if gre <> 0. || cim <> 0. then
+        Cmat.set a i j (complex gre (omega *. cim))
+    done
+  done;
+  (* RHS: AC source magnitudes. *)
+  let b = Array.make n Complex.zero in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Vsource { name; ac; _ } when ac <> 0. ->
+        let br =
+          match Engine.branch_id index name with
+          | Some i -> i
+          | None -> assert false
+        in
+        b.(br) <- Complex.add b.(br) (complex ac 0.)
+      | N.Isource { p; n = nn; ac; _ } when ac <> 0. ->
+        (* AC current leaves p, enters n; the residual convention puts
+           source injections on the RHS with opposite sign. *)
+        (match Engine.node_id index p with
+        | Some i -> b.(i) <- Complex.sub b.(i) (complex ac 0.)
+        | None -> ());
+        (match Engine.node_id index nn with
+        | Some i -> b.(i) <- Complex.add b.(i) (complex ac 0.)
+        | None -> ())
+      | N.Vsource _ | N.Isource _ | N.Mosfet _ | N.Resistor _
+      | N.Capacitor _ | N.Vcvs _ | N.Switch _ ->
+        ())
+    (N.elements netlist);
+  { freq; x = Cmat.solve a b }
+
+let voltage (op : Dc.op) solution node =
+  match Engine.node_id op.Dc.index node with
+  | None -> Complex.zero
+  | Some i -> solution.x.(i)
+
+let sweep ?(points_per_decade = 10) ~fstart ~fstop op =
+  if fstart <= 0. || fstop <= fstart then invalid_arg "Ac.sweep: bad range";
+  let decades = Float.log10 (fstop /. fstart) in
+  let n = max 2 (1 + int_of_float (Float.ceil (decades *. float_of_int points_per_decade))) in
+  let freqs = Ape_util.Float_ext.logspace fstart fstop n in
+  { op; points = List.map (solve_at op) freqs }
+
+let transfer ~node sweep =
+  List.map (fun s -> (s.freq, voltage sweep.op s node)) sweep.points
+
+let magnitude_at ~node op freq =
+  Complex.norm (voltage op (solve_at op freq) node)

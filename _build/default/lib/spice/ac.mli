@@ -1,0 +1,36 @@
+(** Small-signal AC analysis.
+
+    Linearises the circuit at a DC operating point — the AC system matrix
+    is exactly the DC Newton Jacobian plus jω·C, so the linearisation can
+    never disagree with the nonlinear model — and solves the complex MNA
+    system at each requested frequency.  AC excitations are the [ac]
+    magnitudes declared on the netlist's independent sources. *)
+
+type solution = {
+  freq : float;  (** Hz *)
+  x : Complex.t array;  (** node phasors then branch currents *)
+}
+
+type sweep = {
+  op : Dc.op;
+  points : solution list;  (** ascending frequency *)
+}
+
+val solve_at : Dc.op -> float -> solution
+(** Single-frequency solve. *)
+
+val voltage : Dc.op -> solution -> Ape_circuit.Netlist.node -> Complex.t
+
+val sweep :
+  ?points_per_decade:int -> fstart:float -> fstop:float -> Dc.op -> sweep
+(** Logarithmic sweep, inclusive of both endpoints.  Default 10
+    points/decade. *)
+
+val transfer :
+  node:Ape_circuit.Netlist.node -> sweep -> (float * Complex.t) list
+(** [(frequency, phasor)] of one node over the sweep. *)
+
+val magnitude_at :
+  node:Ape_circuit.Netlist.node -> Dc.op -> float -> float
+(** |V(node)| at one frequency — the building block the measurement
+    search routines refine with. *)

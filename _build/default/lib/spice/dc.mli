@@ -1,0 +1,42 @@
+(** DC operating-point analysis: damped Newton–Raphson with gmin stepping
+    and a source-stepping fallback — the same continuation strategy SPICE
+    uses. *)
+
+type op = {
+  netlist : Ape_circuit.Netlist.t;
+  index : Engine.index;
+  x : float array;  (** solution: node voltages then branch currents *)
+  iterations : int;  (** Newton iterations of the final solve *)
+}
+
+exception No_convergence of string
+
+val solve :
+  ?max_iter:int ->
+  ?tol_v:float ->
+  ?tol_i:float ->
+  ?x0:float array ->
+  Ape_circuit.Netlist.t ->
+  op
+(** Raises {!No_convergence} if Newton, gmin stepping and source stepping
+    all fail. *)
+
+val voltage : op -> Ape_circuit.Netlist.node -> float
+
+val branch_current : op -> string -> float option
+(** Current through a named V-source/VCVS (SPICE sign: positive flows
+    p→n inside the source). *)
+
+val supply_current : op -> string -> float
+(** Magnitude of the current delivered by the named V-source; raises
+    [Not_found] for an unknown name.  Static power =
+    supply voltage × this. *)
+
+val static_power : op -> supply:string -> float
+(** |V| · |I| of the named supply source. *)
+
+val mosfet_regions :
+  op -> (string * Ape_device.Mos.region * float) list
+(** Per-MOSFET region and drain current at the operating point. *)
+
+val pp : Format.formatter -> op -> unit

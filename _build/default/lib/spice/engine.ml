@@ -1,0 +1,226 @@
+module N = Ape_circuit.Netlist
+module Mos = Ape_device.Mos
+module Rmat = Ape_util.Matrix.Rmat
+
+type index = {
+  node_ids : (string, int) Hashtbl.t;
+  branch_ids : (string, int) Hashtbl.t;
+  n_nodes : int;
+  total : int;
+}
+
+let build_index netlist =
+  let node_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i n -> Hashtbl.replace node_ids n i)
+    (N.nodes netlist);
+  let n_nodes = Hashtbl.length node_ids in
+  let branch_ids = Hashtbl.create 4 in
+  let next = ref n_nodes in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Vsource { name; _ } | N.Vcvs { name; _ } ->
+        Hashtbl.replace branch_ids name !next;
+        incr next
+      | N.Mosfet _ | N.Resistor _ | N.Capacitor _ | N.Isource _ | N.Switch _
+        ->
+        ())
+    (N.elements netlist);
+  { node_ids; branch_ids; n_nodes; total = !next }
+
+let size idx = idx.total
+let n_nodes idx = idx.n_nodes
+
+let node_id idx n =
+  if N.is_ground n then None else Hashtbl.find_opt idx.node_ids n
+
+let branch_id idx name = Hashtbl.find_opt idx.branch_ids name
+
+let node_voltage idx x n =
+  match node_id idx n with
+  | None -> 0.
+  | Some i -> x.(i)
+
+type stimulus = (string * (float -> float)) list
+
+let volt idx x n = node_voltage idx x n
+
+(* Accumulate [v] into residual slot for node [n] (ground rows are
+   dropped). *)
+let add_residual idx f n v =
+  match node_id idx n with None -> () | Some i -> f.(i) <- f.(i) +. v
+
+let add_jac idx j row col v =
+  match (node_id idx row, node_id idx col) with
+  | Some r, Some c -> Rmat.add_to j r c v
+  | _ -> ()
+
+let add_jac_row_unknown idx j row col_unknown v =
+  match node_id idx row with
+  | Some r -> Rmat.add_to j r col_unknown v
+  | None -> ()
+
+let add_jac_unknown_col idx j row_unknown col v =
+  match node_id idx col with
+  | Some c -> Rmat.add_to j row_unknown c v
+  | None -> ()
+
+let source_value ~time ~stimulus ~name ~dc =
+  match stimulus with
+  | [] -> dc
+  | list -> (
+    match List.assoc_opt name list with
+    | Some wave -> wave time
+    | None -> dc)
+
+(* Finite-difference partial derivatives of the drain current with
+   respect to the four terminal voltages.  Differencing the same function
+   the residual uses guarantees a consistent Jacobian. *)
+let mos_partials card geom ~vd ~vg ~vs ~vb =
+  let id vd vg vs vb =
+    Mos.drain_current card geom ~vgs:(vg -. vs) ~vds:(vd -. vs)
+      ~vsb:(vs -. vb)
+  in
+  let i0 = id vd vg vs vb in
+  let h = 1e-6 in
+  let gd = (id (vd +. h) vg vs vb -. id (vd -. h) vg vs vb) /. (2. *. h) in
+  let gg = (id vd (vg +. h) vs vb -. id vd (vg -. h) vs vb) /. (2. *. h) in
+  let gs = (id vd vg (vs +. h) vb -. id vd vg (vs -. h) vb) /. (2. *. h) in
+  let gb = (id vd vg vs (vb +. h) -. id vd vg vs (vb -. h)) /. (2. *. h) in
+  (i0, gd, gg, gs, gb)
+
+let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
+    ?(stimulus = []) netlist idx x =
+  let n = idx.total in
+  let f = Array.make n 0. in
+  let j = Rmat.create n n in
+  (* gmin from every node to ground. *)
+  for i = 0 to idx.n_nodes - 1 do
+    f.(i) <- f.(i) +. (gmin *. x.(i));
+    Rmat.add_to j i i gmin
+  done;
+  let conductance_stamp a b g =
+    let va = volt idx x a and vb = volt idx x b in
+    let i = g *. (va -. vb) in
+    add_residual idx f a i;
+    add_residual idx f b (-.i);
+    add_jac idx j a a g;
+    add_jac idx j a b (-.g);
+    add_jac idx j b a (-.g);
+    add_jac idx j b b g
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Resistor { a; b; r; _ } -> conductance_stamp a b (1. /. r)
+      | N.Capacitor _ -> () (* open in DC; transient adds companions *)
+      | N.Switch { a; b; ctrl; ron; roff; vthreshold; _ } ->
+        let g =
+          if volt idx x ctrl > vthreshold then 1. /. ron else 1. /. roff
+        in
+        conductance_stamp a b g
+      | N.Isource { name; p; n = nn; dc; _ } ->
+        let value = source_scale *. source_value ~time ~stimulus ~name ~dc in
+        (* Current flows from p through the source to n: leaves p. *)
+        add_residual idx f p value;
+        add_residual idx f nn (-.value)
+      | N.Vsource { name; p; n = nn; dc; _ } ->
+        let value = source_scale *. source_value ~time ~stimulus ~name ~dc in
+        let br =
+          match branch_id idx name with Some b -> b | None -> assert false
+        in
+        let ibr = x.(br) in
+        add_residual idx f p ibr;
+        add_residual idx f nn (-.ibr);
+        add_jac_row_unknown idx j p br 1.;
+        add_jac_row_unknown idx j nn br (-1.);
+        f.(br) <- volt idx x p -. volt idx x nn -. value;
+        add_jac_unknown_col idx j br p 1.;
+        add_jac_unknown_col idx j br nn (-1.)
+      | N.Vcvs { name; p; n = nn; cp; cn; gain } ->
+        let br =
+          match branch_id idx name with Some b -> b | None -> assert false
+        in
+        let ibr = x.(br) in
+        add_residual idx f p ibr;
+        add_residual idx f nn (-.ibr);
+        add_jac_row_unknown idx j p br 1.;
+        add_jac_row_unknown idx j nn br (-1.);
+        f.(br) <-
+          volt idx x p -. volt idx x nn
+          -. (gain *. (volt idx x cp -. volt idx x cn));
+        add_jac_unknown_col idx j br p 1.;
+        add_jac_unknown_col idx j br nn (-1.);
+        add_jac_unknown_col idx j br cp (-.gain);
+        add_jac_unknown_col idx j br cn gain
+      | N.Mosfet { card; d; g; s; b; geom; _ } ->
+        let vd = volt idx x d
+        and vg = volt idx x g
+        and vs = volt idx x s
+        and vb = volt idx x b in
+        let i0, gd, gg, gs, gb = mos_partials card geom ~vd ~vg ~vs ~vb in
+        (* Drain current i0 enters the drain terminal: leaves node d,
+           re-enters the circuit at the source node. *)
+        add_residual idx f d i0;
+        add_residual idx f s (-.i0);
+        add_jac idx j d d gd;
+        add_jac idx j d g gg;
+        add_jac idx j d s gs;
+        add_jac idx j d b gb;
+        add_jac idx j s d (-.gd);
+        add_jac idx j s g (-.gg);
+        add_jac idx j s s (-.gs);
+        add_jac idx j s b (-.gb))
+    (N.elements netlist);
+  (f, j)
+
+let stamp_capacitances netlist idx x =
+  let n = idx.total in
+  let c = Rmat.create n n in
+  let cap_stamp a b value =
+    add_jac idx c a a value;
+    add_jac idx c a b (-.value);
+    add_jac idx c b a (-.value);
+    add_jac idx c b b value
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Capacitor { a; b; c = value; _ } -> cap_stamp a b value
+      | N.Mosfet { card; d; g; s; b; geom; _ } ->
+        let vd = volt idx x d
+        and vg = volt idx x g
+        and vs = volt idx x s
+        and vb = volt idx x b in
+        let ss =
+          Mos.small_signal card geom ~vgs:(vg -. vs) ~vds:(vd -. vs)
+            ~vsb:(vs -. vb)
+        in
+        cap_stamp g s ss.Mos.cgs;
+        cap_stamp g d ss.Mos.cgd;
+        cap_stamp g b ss.Mos.cgb;
+        cap_stamp d b ss.Mos.cdb;
+        cap_stamp s b ss.Mos.csb
+      | N.Resistor _ | N.Vsource _ | N.Isource _ | N.Vcvs _ | N.Switch _ ->
+        ())
+    (N.elements netlist);
+  c
+
+let mosfet_small_signal netlist idx x =
+  List.filter_map
+    (fun e ->
+      match e with
+      | N.Mosfet { name; card; d; g; s; b; geom; _ } ->
+        let vd = volt idx x d
+        and vg = volt idx x g
+        and vs = volt idx x s
+        and vb = volt idx x b in
+        Some
+          ( name,
+            Mos.small_signal card geom ~vgs:(vg -. vs) ~vds:(vd -. vs)
+              ~vsb:(vs -. vb) )
+      | N.Resistor _ | N.Capacitor _ | N.Vsource _ | N.Isource _ | N.Vcvs _
+      | N.Switch _ ->
+        None)
+    (N.elements netlist)

@@ -1,0 +1,58 @@
+(** Shared modified-nodal-analysis machinery: unknown indexing, nonlinear
+    residual/Jacobian evaluation and linear C-matrix stamping.  The DC, AC,
+    transient and AWE analyses are all thin layers over this module. *)
+
+type index
+
+val build_index : Ape_circuit.Netlist.t -> index
+(** Unknown layout: node voltages first (non-ground nodes in sorted
+    order), then one branch current per V-source and VCVS. *)
+
+val size : index -> int
+val n_nodes : index -> int
+
+val node_id : index -> Ape_circuit.Netlist.node -> int option
+(** [None] for ground. *)
+
+val branch_id : index -> string -> int option
+(** Branch-current unknown of a named V-source/VCVS. *)
+
+val node_voltage : index -> float array -> Ape_circuit.Netlist.node -> float
+(** Read a node voltage out of a solution vector (0 for ground). *)
+
+type stimulus = (string * (float -> float)) list
+(** Per-source time waveforms for transient analysis: overrides the DC
+    value of the named V/I source. *)
+
+val residual_jacobian :
+  ?gmin:float ->
+  ?source_scale:float ->
+  ?time:float ->
+  ?stimulus:stimulus ->
+  Ape_circuit.Netlist.t ->
+  index ->
+  float array ->
+  float array * Ape_util.Matrix.Rmat.t
+(** [residual_jacobian netlist index x] evaluates the KCL/branch residual
+    [F(x)] and its Jacobian at the point [x].  Newton solves
+    [J dx = -F].  [gmin] (default 1e-12) is a stabilising conductance
+    from every node to ground; [source_scale] scales all independent
+    sources (source stepping); [time]/[stimulus] evaluate time-dependent
+    source values for the transient analysis. *)
+
+val stamp_capacitances :
+  Ape_circuit.Netlist.t ->
+  index ->
+  float array ->
+  Ape_util.Matrix.Rmat.t
+(** The C matrix (susceptance stamps / jω) linearised at the operating
+    point [x]: explicit capacitors plus the MOS intrinsic and junction
+    capacitances in their bias-dependent values. *)
+
+val mosfet_small_signal :
+  Ape_circuit.Netlist.t ->
+  index ->
+  float array ->
+  (string * Ape_device.Mos.small_signal) list
+(** Per-MOSFET small-signal parameters at the operating point — exposed
+    for tests and reporting. *)

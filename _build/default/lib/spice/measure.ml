@@ -1,0 +1,111 @@
+let dc_gain ~out op = Ac.magnitude_at ~node:out op 0.
+let gain_at ~out op freq = Ac.magnitude_at ~node:out op freq
+
+let phase_at ~out op freq =
+  let v = Ac.voltage op (Ac.solve_at op freq) out in
+  Complex.arg v *. 180. /. Float.pi
+
+(* Find the lowest crossing of |H(f)| = level by scanning a log grid for
+   a bracket and refining with Brent in log-frequency. *)
+let find_crossing ~fmin ~fmax ~level ~out op =
+  let g f = gain_at ~out op f -. level in
+  let n = max 8 (int_of_float (8. *. Float.log10 (fmax /. fmin))) in
+  let grid = Ape_util.Float_ext.logspace fmin fmax n in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      let ga = g a and gb = g b in
+      if ga = 0. then Some a
+      else if ga *. gb < 0. then begin
+        let h lf = g (10. ** lf) in
+        let lf =
+          Ape_util.Rootfind.brent ~tol:1e-9 h (Float.log10 a) (Float.log10 b)
+        in
+        Some (10. ** lf)
+      end
+      else scan rest
+    | [ last ] -> if g last = 0. then Some last else None
+    | [] -> None
+  in
+  scan grid
+
+let unity_gain_frequency ?(fmin = 1.) ?(fmax = 1e10) ~out op =
+  find_crossing ~fmin ~fmax ~level:1. ~out op
+
+let f_minus_3db ?(fmin = 1.) ?(fmax = 1e10) ~out op =
+  let a0 = dc_gain ~out op in
+  if a0 <= 0. then None
+  else find_crossing ~fmin ~fmax ~level:(a0 /. Float.sqrt 2.) ~out op
+
+let f_level_db ?(fmin = 1.) ?(fmax = 1e10) ~level_db ~out op =
+  let a0 = dc_gain ~out op in
+  if a0 <= 0. then None
+  else
+    let level = a0 *. Ape_util.Float_ext.gain_of_db level_db in
+    find_crossing ~fmin ~fmax ~level ~out op
+
+let phase_margin ?fmin ?fmax ~out op =
+  match unity_gain_frequency ?fmin ?fmax ~out op with
+  | None -> None
+  | Some ugf -> Some (180. +. phase_at ~out op ugf)
+
+type bandpass = {
+  f_center : float;
+  peak_gain : float;
+  f_low : float;
+  f_high : float;
+  bandwidth : float;
+}
+
+let bandpass_characteristics ?(fmin = 1.) ?(fmax = 1e8) ~out op =
+  (* Coarse peak search on a dense log grid, then golden-section refine. *)
+  let n = max 16 (int_of_float (24. *. Float.log10 (fmax /. fmin))) in
+  let grid = Array.of_list (Ape_util.Float_ext.logspace fmin fmax n) in
+  let gains = Array.map (fun f -> gain_at ~out op f) grid in
+  let peak_idx = ref 0 in
+  Array.iteri (fun i g -> if g > gains.(!peak_idx) then peak_idx := i) gains;
+  if !peak_idx = 0 || !peak_idx = Array.length grid - 1 then None
+  else begin
+    (* Golden-section refinement in log f around the grid peak. *)
+    let lg f = Float.log10 f in
+    let obj lf = -.gain_at ~out op (10. ** lf) in
+    let a = ref (lg grid.(!peak_idx - 1)) and b = ref (lg grid.(!peak_idx + 1)) in
+    let phi = 0.6180339887498949 in
+    for _ = 1 to 40 do
+      let x1 = !b -. (phi *. (!b -. !a)) and x2 = !a +. (phi *. (!b -. !a)) in
+      if obj x1 < obj x2 then b := x2 else a := x1
+    done;
+    let f_center = 10. ** (0.5 *. (!a +. !b)) in
+    let peak_gain = gain_at ~out op f_center in
+    let level = peak_gain /. Float.sqrt 2. in
+    let g f = gain_at ~out op f -. level in
+    let low =
+      match
+        (try
+           Some
+             (Ape_util.Rootfind.brent
+                (fun lf -> g (10. ** lf))
+                (lg fmin) (lg f_center))
+         with Ape_util.Rootfind.No_bracket -> None)
+      with
+      | Some lf -> Some (10. ** lf)
+      | None -> None
+    in
+    let high =
+      match
+        (try
+           Some
+             (Ape_util.Rootfind.brent
+                (fun lf -> g (10. ** lf))
+                (lg f_center) (lg fmax))
+         with Ape_util.Rootfind.No_bracket -> None)
+      with
+      | Some lf -> Some (10. ** lf)
+      | None -> None
+    in
+    match (low, high) with
+    | Some f_low, Some f_high ->
+      Some { f_center; peak_gain; f_low; f_high; bandwidth = f_high -. f_low }
+    | _ -> None
+  end
+
+let output_impedance_magnitude ~out ~freq op = gain_at ~out op freq

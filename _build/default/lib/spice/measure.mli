@@ -1,0 +1,73 @@
+(** Measurement extraction — the "sim" columns of the paper's tables.
+
+    These routines play the role of SPICE [.MEASURE] post-processing:
+    given a solved operating point they hunt for level crossings on the
+    AC response with a coarse log scan refined by Brent's method, and
+    post-process transient runs for slew and settling figures. *)
+
+val dc_gain : out:Ape_circuit.Netlist.node -> Dc.op -> float
+(** |V(out)| at s = 0 with the netlist's declared AC excitation (the AC
+    system reduces to the real conductance matrix). *)
+
+val gain_at : out:Ape_circuit.Netlist.node -> Dc.op -> float -> float
+(** |V(out)| at a frequency in Hz. *)
+
+val phase_at : out:Ape_circuit.Netlist.node -> Dc.op -> float -> float
+(** Phase in degrees. *)
+
+val unity_gain_frequency :
+  ?fmin:float ->
+  ?fmax:float ->
+  out:Ape_circuit.Netlist.node ->
+  Dc.op ->
+  float option
+(** Lowest frequency where |H| falls to 1, searched on
+    [[fmin, fmax]] (defaults 1 Hz .. 10 GHz).  [None] if |H| never
+    reaches 1 (e.g. the DC gain is already below unity). *)
+
+val f_minus_3db :
+  ?fmin:float ->
+  ?fmax:float ->
+  out:Ape_circuit.Netlist.node ->
+  Dc.op ->
+  float option
+(** −3 dB bandwidth relative to the DC gain. *)
+
+val f_level_db :
+  ?fmin:float ->
+  ?fmax:float ->
+  level_db:float ->
+  out:Ape_circuit.Netlist.node ->
+  Dc.op ->
+  float option
+(** Frequency where the response is [level_db] below DC (e.g. −20 dB
+    for the paper's f_{−20dB} LPF row). *)
+
+val phase_margin :
+  ?fmin:float ->
+  ?fmax:float ->
+  out:Ape_circuit.Netlist.node ->
+  Dc.op ->
+  float option
+(** 180° + phase at the unity-gain frequency. *)
+
+type bandpass = {
+  f_center : float;  (** peak frequency, Hz *)
+  peak_gain : float;
+  f_low : float;  (** lower −3 dB edge *)
+  f_high : float;  (** upper −3 dB edge *)
+  bandwidth : float;
+}
+
+val bandpass_characteristics :
+  ?fmin:float ->
+  ?fmax:float ->
+  out:Ape_circuit.Netlist.node ->
+  Dc.op ->
+  bandpass option
+(** Peak search + two-sided −3 dB edges for band-pass responses. *)
+
+val output_impedance_magnitude :
+  out:Ape_circuit.Netlist.node -> freq:float -> Dc.op -> float
+(** |V(out)| per 1 A of AC injection: the caller's netlist must contain
+    a 1 A AC current source at [out] and no other AC excitation. *)

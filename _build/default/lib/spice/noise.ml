@@ -1,0 +1,122 @@
+module N = Ape_circuit.Netlist
+module Card = Ape_process.Model_card
+module Mos = Ape_device.Mos
+module Cmat = Ape_util.Matrix.Cmat
+module Rmat = Ape_util.Matrix.Rmat
+
+type contribution = { element : string; psd : float }
+
+let four_kt = 4. *. Ape_util.Units.k_boltzmann *. 300.15
+
+(* Current-noise PSD (A²/Hz) of each element between its two noise
+   terminals at the operating point. *)
+let noise_sources (op : Dc.op) freq =
+  List.filter_map
+    (fun e ->
+      match e with
+      | N.Resistor { name; a; b; r } -> Some (name, a, b, four_kt /. r)
+      | N.Mosfet { name; card; d; g; s; b; geom; _ } ->
+        let vd = Dc.voltage op d
+        and vg = Dc.voltage op g
+        and vs = Dc.voltage op s
+        and vb = Dc.voltage op b in
+        let ss =
+          Mos.small_signal card geom ~vgs:(vg -. vs) ~vds:(vd -. vs)
+            ~vsb:(vs -. vb)
+        in
+        let point =
+          Mos.operating_point card geom ~vgs:(vg -. vs) ~vds:(vd -. vs)
+            ~vsb:(vs -. vb)
+        in
+        let id = Float.abs point.Mos.ids in
+        let thermal = four_kt *. (2. /. 3.) *. ss.Mos.gm in
+        let leff =
+          Float.max 1e-9 (geom.Mos.l -. (2. *. card.Card.ld))
+        in
+        (* SPICE flicker model: KF·I^AF / (Cox·Leff²·f), as a drain
+           current PSD. *)
+        let flicker =
+          card.Card.kf
+          *. (id ** card.Card.af)
+          /. (Card.cox card *. leff *. leff *. Float.max 1e-3 freq)
+        in
+        Some (name, d, s, thermal +. flicker)
+      | N.Capacitor _ | N.Vsource _ | N.Isource _ | N.Vcvs _ | N.Switch _ ->
+        None)
+    (N.elements op.Dc.netlist)
+
+(* Complex MNA matrix at the operating point (same assembly as Ac). *)
+let system_matrix (op : Dc.op) freq =
+  let netlist = op.Dc.netlist and index = op.Dc.index in
+  let n = Engine.size index in
+  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
+  let c = Engine.stamp_capacitances netlist index op.Dc.x in
+  let omega = 2. *. Float.pi *. freq in
+  let a = Cmat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let gre = Rmat.get g i j and cim = Rmat.get c i j in
+      if gre <> 0. || cim <> 0. then
+        Cmat.set a i j { Complex.re = gre; im = omega *. cim }
+    done
+  done;
+  a
+
+let output_noise ~out ~freq (op : Dc.op) =
+  let index = op.Dc.index in
+  let a = system_matrix op freq in
+  let lu = Cmat.lu_factor a in
+  let n = Engine.size index in
+  let inject a_node b_node =
+    (* Transfer impedance |v(out)| for a 1 A source from a to b. *)
+    let rhs = Array.make n Complex.zero in
+    (match Engine.node_id index a_node with
+    | Some i -> rhs.(i) <- Complex.sub rhs.(i) Complex.one
+    | None -> ());
+    (match Engine.node_id index b_node with
+    | Some i -> rhs.(i) <- Complex.add rhs.(i) Complex.one
+    | None -> ());
+    let x = Cmat.lu_solve lu rhs in
+    match Engine.node_id index out with
+    | Some i -> Complex.norm x.(i)
+    | None -> 0.
+  in
+  let contributions =
+    List.map
+      (fun (element, a_node, b_node, s_i) ->
+        let z = inject a_node b_node in
+        { element; psd = s_i *. z *. z })
+      (noise_sources op freq)
+  in
+  let total = List.fold_left (fun acc c -> acc +. c.psd) 0. contributions in
+  ( total,
+    List.sort (fun x y -> compare y.psd x.psd) contributions )
+
+let input_referred ~out ~freq op =
+  let total, _ = output_noise ~out ~freq op in
+  let gain = Ac.magnitude_at ~node:out op freq in
+  if gain = 0. then raise Division_by_zero;
+  Float.sqrt total /. gain
+
+let integrated_output ~out ~fstart ~fstop ?(points_per_decade = 5) op =
+  if fstart <= 0. || fstop <= fstart then
+    invalid_arg "Noise.integrated_output: bad band";
+  let n =
+    max 2
+      (1
+      + int_of_float
+          (Float.ceil
+             (Float.log10 (fstop /. fstart)
+             *. float_of_int points_per_decade)))
+  in
+  let freqs = Ape_util.Float_ext.logspace fstart fstop n in
+  let psds =
+    List.map (fun f -> fst (output_noise ~out ~freq:f op)) freqs
+  in
+  (* Trapezoidal integration on the linear frequency axis. *)
+  let rec integrate acc = function
+    | (f1, p1) :: ((f2, p2) :: _ as rest) ->
+      integrate (acc +. (0.5 *. (p1 +. p2) *. (f2 -. f1))) rest
+    | [ _ ] | [] -> acc
+  in
+  Float.sqrt (integrate 0. (List.combine freqs psds))

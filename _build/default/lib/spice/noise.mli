@@ -1,0 +1,40 @@
+(** Small-signal noise analysis.
+
+    Each noisy element contributes a current-noise power spectral
+    density between two terminals (resistor thermal 4kT/R; MOSFET channel
+    thermal 4kT·(2/3)·gm plus 1/f flicker KF·I_D^AF/(C_ox·L_eff²·f)
+    referred to the channel); the transfer impedance from every injection
+    point to the output is obtained from one complex MNA solve per
+    source per frequency, and contributions add in power.
+
+    Input-referred noise divides by the circuit's own signal gain (from
+    the netlist's declared AC excitation). *)
+
+type contribution = {
+  element : string;
+  psd : float;  (** contribution at the output, V²/Hz *)
+}
+
+val output_noise :
+  out:Ape_circuit.Netlist.node ->
+  freq:float ->
+  Dc.op ->
+  float * contribution list
+(** Total output noise PSD (V²/Hz) at [freq] and the per-element
+    breakdown, sorted descending. *)
+
+val input_referred :
+  out:Ape_circuit.Netlist.node -> freq:float -> Dc.op -> float
+(** Input-referred noise density, V/√Hz: output noise voltage density
+    divided by the gain from the netlist's AC excitation to [out].
+    Raises [Division_by_zero] when that gain is 0. *)
+
+val integrated_output :
+  out:Ape_circuit.Netlist.node ->
+  fstart:float ->
+  fstop:float ->
+  ?points_per_decade:int ->
+  Dc.op ->
+  float
+(** RMS output noise over a band (trapezoidal integration of the PSD on
+    a log grid), volts. *)

@@ -1,0 +1,39 @@
+(** DC sweep analysis: repeated operating-point solves over a source
+    value, warm-starting each point from the previous solution (the
+    continuation every SPICE ".DC" sweep uses).  Used for converter
+    transfer curves and comparator trip points. *)
+
+type point = {
+  value : float;  (** swept source value *)
+  op : Dc.op;
+}
+
+val run :
+  source:string ->
+  values:float list ->
+  Ape_circuit.Netlist.t ->
+  point list
+(** Sweep the named V/I source through [values] (solved in the given
+    order; sort them for best warm-start behaviour).  Raises
+    {!Dc.No_convergence} if some point cannot be solved even from the
+    neighbouring solution, and [Not_found] if the source does not
+    exist. *)
+
+val transfer :
+  source:string ->
+  out:Ape_circuit.Netlist.node ->
+  values:float list ->
+  Ape_circuit.Netlist.t ->
+  (float * float) list
+(** [(input, V(out))] pairs. *)
+
+val crossing :
+  source:string ->
+  out:Ape_circuit.Netlist.node ->
+  level:float ->
+  lo:float ->
+  hi:float ->
+  Ape_circuit.Netlist.t ->
+  float option
+(** Input value at which [V(out)] crosses [level], located with a
+    warm-started bisection; [None] when the output never crosses. *)

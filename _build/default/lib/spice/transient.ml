@@ -1,0 +1,203 @@
+module N = Ape_circuit.Netlist
+module Rmat = Ape_util.Matrix.Rmat
+
+type method_ = Backward_euler | Trapezoidal
+type waveform = float -> float
+
+let step ?(t0 = 0.) ?(low = 0.) ~high () t = if t < t0 then low else high
+
+let pulse ?(delay = 0.) ?(rise = 1e-9) ~low ~high ~width ~period () t =
+  if t < delay then low
+  else begin
+    let tau = Float.rem (t -. delay) period in
+    if tau < rise then low +. ((high -. low) *. tau /. rise)
+    else if tau < rise +. width then high
+    else if tau < (2. *. rise) +. width then
+      high -. ((high -. low) *. (tau -. rise -. width) /. rise)
+    else low
+  end
+
+let sine ?(offset = 0.) ~ampl ~freq () t =
+  offset +. (ampl *. Float.sin (2. *. Float.pi *. freq *. t))
+
+type result = { times : float array; nodes : (string * float array) list }
+
+exception Step_failed of float
+
+let max_norm a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. a
+
+(* Newton solve of F(x) + C·(x - x_prev)/h [BE] = 0 at time t, starting
+   from x (modified in place).  For trapezoidal the companion term is
+   (2C/h)(x - x_prev) - i_prev where i_prev is the capacitor current at
+   the previous time point. *)
+let solve_step ~method_ ~max_newton ~stimulus ~time ~dt netlist index
+    ~x_prev ~icap_prev x =
+  let n = Engine.size index in
+  let ok = ref false and iter = ref 0 in
+  let c = Engine.stamp_capacitances netlist index x_prev in
+  let coeff = match method_ with Backward_euler -> 1. | Trapezoidal -> 2. in
+  let gc = coeff /. dt in
+  while (not !ok) && !iter < max_newton do
+    incr iter;
+    let f, j =
+      Engine.residual_jacobian ~gmin:1e-12 ~time ~stimulus netlist index x
+    in
+    (* Capacitor companion: i = gc·C·(x - x_prev) - icap_prev_term. *)
+    for row = 0 to n - 1 do
+      let acc = ref 0. in
+      for col = 0 to n - 1 do
+        let cv = Rmat.get c row col in
+        if cv <> 0. then begin
+          acc := !acc +. (gc *. cv *. (x.(col) -. x_prev.(col)));
+          Rmat.add_to j row col (gc *. cv)
+        end
+      done;
+      let trap_term =
+        match method_ with
+        | Backward_euler -> 0.
+        | Trapezoidal -> icap_prev.(row)
+      in
+      f.(row) <- f.(row) +. !acc -. trap_term
+    done;
+    match Rmat.lu_factor j with
+    | exception Ape_util.Matrix.Singular -> iter := max_newton
+    | lu ->
+      let dx = Rmat.lu_solve lu (Array.map (fun v -> -.v) f) in
+      if Array.exists Float.is_nan dx then iter := max_newton
+      else begin
+        Array.iteri
+          (fun i d ->
+            let d = Ape_util.Float_ext.clamp ~lo:(-1.) ~hi:1. d in
+            x.(i) <- x.(i) +. d)
+          dx;
+        if max_norm dx < 1e-9 then ok := true
+      end
+  done;
+  if not !ok then None
+  else begin
+    (* Capacitor current at the accepted point (for trapezoidal). *)
+    let icap = Array.make n 0. in
+    for row = 0 to n - 1 do
+      let acc = ref 0. in
+      for col = 0 to n - 1 do
+        let cv = Rmat.get c row col in
+        if cv <> 0. then
+          acc := !acc +. (gc *. cv *. (x.(col) -. x_prev.(col)))
+      done;
+      let trap_term =
+        match method_ with
+        | Backward_euler -> 0.
+        | Trapezoidal -> icap_prev.(row)
+      in
+      icap.(row) <- !acc -. trap_term
+    done;
+    Some icap
+  end
+
+let run ?(method_ = Backward_euler) ?(max_newton = 60) ~stimulus ~tstop ~dt
+    (op : Dc.op) =
+  if dt <= 0. || tstop <= 0. then invalid_arg "Transient.run: bad times";
+  let netlist = op.Dc.netlist and index = op.Dc.index in
+  let n = Engine.size index in
+  let node_names = N.nodes netlist in
+  let n_steps = int_of_float (Float.ceil (tstop /. dt)) in
+  let times = Array.make (n_steps + 1) 0. in
+  let store =
+    List.map (fun name -> (name, Array.make (n_steps + 1) 0.)) node_names
+  in
+  let record k x =
+    List.iter
+      (fun (name, arr) -> arr.(k) <- Engine.node_voltage index x name)
+      store
+  in
+  let x = Array.copy op.Dc.x in
+  record 0 x;
+  let x_prev = ref (Array.copy x) in
+  let icap_prev = ref (Array.make n 0.) in
+  for k = 1 to n_steps do
+    let t = float_of_int k *. dt in
+    times.(k) <- t;
+    (* Step cutting: retry a failing Newton with smaller internal
+       sub-steps. *)
+    let rec advance ~t_from ~t_to ~depth x_start icap_start =
+      let h = t_to -. t_from in
+      let x_try = Array.copy x_start in
+      match
+        solve_step ~method_ ~max_newton ~stimulus ~time:t_to ~dt:h netlist
+          index ~x_prev:x_start ~icap_prev:icap_start x_try
+      with
+      | Some icap -> (x_try, icap)
+      | None ->
+        if depth >= 8 then raise (Step_failed t_to);
+        let mid = 0.5 *. (t_from +. t_to) in
+        let x_mid, icap_mid =
+          advance ~t_from ~t_to:mid ~depth:(depth + 1) x_start icap_start
+        in
+        advance ~t_from:mid ~t_to ~depth:(depth + 1) x_mid icap_mid
+    in
+    let x_new, icap = advance ~t_from:(t -. dt) ~t_to:t ~depth:0 !x_prev !icap_prev in
+    Array.blit x_new 0 x 0 n;
+    x_prev := x_new;
+    icap_prev := icap;
+    record k x
+  done;
+  { times; nodes = store }
+
+let samples result name = List.assoc name result.nodes
+
+let value_at result name t =
+  let ys = samples result name in
+  let ts = result.times in
+  let n = Array.length ts in
+  if t <= ts.(0) then ys.(0)
+  else if t >= ts.(n - 1) then ys.(n - 1)
+  else begin
+    (* Fixed step: direct index. *)
+    let dt = ts.(1) -. ts.(0) in
+    let k = int_of_float (t /. dt) in
+    let k = min (n - 2) (max 0 k) in
+    let frac = (t -. ts.(k)) /. (ts.(k + 1) -. ts.(k)) in
+    Ape_util.Float_ext.lerp ys.(k) ys.(k + 1) frac
+  end
+
+let max_slope result name =
+  let ys = samples result name and ts = result.times in
+  let best = ref 0. in
+  for k = 0 to Array.length ys - 2 do
+    let dt = ts.(k + 1) -. ts.(k) in
+    if dt > 0. then
+      best := Float.max !best (Float.abs ((ys.(k + 1) -. ys.(k)) /. dt))
+  done;
+  !best
+
+let crossing_time ?(rising = true) result name ~level =
+  let ys = samples result name and ts = result.times in
+  let n = Array.length ys in
+  let rec find k =
+    if k >= n - 1 then None
+    else begin
+      let a = ys.(k) and b = ys.(k + 1) in
+      let crossed =
+        if rising then a < level && b >= level else a > level && b <= level
+      in
+      if crossed then begin
+        let frac = (level -. a) /. (b -. a) in
+        Some (Ape_util.Float_ext.lerp ts.(k) ts.(k + 1) frac)
+      end
+      else find (k + 1)
+    end
+  in
+  find 0
+
+let settling_time result name ~final ~band =
+  let ys = samples result name and ts = result.times in
+  let n = Array.length ys in
+  let tol = Float.abs (band *. final) in
+  let rec last_violation k worst =
+    if k >= n then worst
+    else if Float.abs (ys.(k) -. final) > tol then last_violation (k + 1) (Some k)
+    else last_violation (k + 1) worst
+  in
+  match last_violation 0 None with
+  | None -> Some ts.(0)
+  | Some k -> if k >= n - 1 then None else Some ts.(k + 1)

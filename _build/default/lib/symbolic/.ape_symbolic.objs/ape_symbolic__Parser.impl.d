@@ -1,0 +1,1 @@
+lib/symbolic/parser.ml: Array Expr List Printf String

@@ -1,0 +1,1 @@
+lib/symbolic/solver.ml: Ape_util Expr Float Format List String

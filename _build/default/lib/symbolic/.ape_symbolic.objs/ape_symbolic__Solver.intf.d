@@ -1,0 +1,1 @@
+lib/symbolic/solver.mli: Expr

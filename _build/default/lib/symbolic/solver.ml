@@ -1,0 +1,88 @@
+type equation = { lhs : Expr.t; rhs : Expr.t }
+
+let equation lhs rhs = { lhs; rhs }
+let residual { lhs; rhs } = Expr.Sub (lhs, rhs)
+
+exception No_solution of string
+
+let check_vars ~var ~env e =
+  let unbound =
+    Expr.vars e
+    |> List.filter (fun v ->
+           (not (String.equal v var)) && Expr.Env.find_opt v env = None)
+  in
+  match unbound with
+  | [] -> ()
+  | vs -> raise (No_solution ("unbound variables: " ^ String.concat ", " vs))
+
+let eval_at ~var ~env e x = Expr.eval (Expr.Env.add var x env) e
+
+let solve_for ?(lo = 1e-12) ?(hi = 1e12) ?guess ~var ~env eqn =
+  let res = Expr.simplify (residual eqn) in
+  check_vars ~var ~env res;
+  let f x =
+    try eval_at ~var ~env res x with
+    | Expr.Domain_error _ -> Float.nan
+  in
+  let dres = Expr.simplify (Expr.diff var res) in
+  let df x =
+    try eval_at ~var ~env dres x with
+    | Expr.Domain_error _ -> Float.nan
+  in
+  let x0 = match guess with Some g -> g | None -> Float.sqrt (lo *. hi) in
+  let newton_result =
+    try
+      let f_clean x =
+        let v = f x in
+        if Float.is_nan v then raise Ape_util.Rootfind.No_convergence else v
+      in
+      let df_clean x =
+        let v = df x in
+        if Float.is_nan v then raise Ape_util.Rootfind.No_convergence else v
+      in
+      let x = Ape_util.Rootfind.newton ~f:f_clean ~df:df_clean x0 in
+      if Float.abs (f x) <= 1e-9 *. (1. +. Float.abs x) then Some x else None
+    with
+    | Ape_util.Rootfind.No_convergence -> None
+  in
+  match newton_result with
+  | Some x -> x
+  | None -> (
+    let f_finite x =
+      let v = f x in
+      if Float.is_nan v then infinity else v
+    in
+    try
+      let lo, hi = Ape_util.Rootfind.expand_bracket f_finite lo hi in
+      Ape_util.Rootfind.brent f_finite lo hi
+    with
+    | Ape_util.Rootfind.No_bracket ->
+      raise (No_solution "no sign change found in search range"))
+
+let solve_system_1d ~var ~env = function
+  | [] -> raise (No_solution "empty system")
+  | first :: rest ->
+    let x = solve_for ~var ~env first in
+    let env_x = Expr.Env.add var x env in
+    List.iter
+      (fun eqn ->
+        let l = Expr.eval env_x eqn.lhs and r = Expr.eval env_x eqn.rhs in
+        if not (Ape_util.Float_ext.approx_equal ~rtol:1e-3 ~atol:1e-9 l r)
+        then
+          raise
+            (No_solution
+               (Format.asprintf "inconsistent equation %a = %a (%.6g <> %.6g)"
+                  Expr.pp eqn.lhs Expr.pp eqn.rhs l r)))
+      rest;
+    x
+
+let sensitivity ~var ~env e =
+  let x =
+    match Expr.Env.find_opt var env with
+    | Some v -> v
+    | None -> raise (Expr.Unbound_variable var)
+  in
+  let fv = Expr.eval env e in
+  if fv = 0. then raise (Expr.Domain_error "sensitivity at f = 0");
+  let dfv = Expr.eval env (Expr.diff var e) in
+  x /. fv *. dfv

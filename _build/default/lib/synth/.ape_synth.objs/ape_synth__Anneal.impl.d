@@ -1,0 +1,1 @@
+lib/synth/anneal.ml: Ape_util Array Float Unix

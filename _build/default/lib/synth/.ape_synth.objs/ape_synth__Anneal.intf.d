@@ -1,0 +1,1 @@
+lib/synth/anneal.mli: Ape_util

@@ -1,0 +1,1 @@
+lib/synth/cost.ml: Float List

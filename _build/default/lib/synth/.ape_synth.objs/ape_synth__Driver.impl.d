@@ -1,0 +1,1 @@
+lib/synth/driver.ml: Anneal Ape_circuit Ape_estimator Cost Opamp_problem Option String

@@ -1,0 +1,1 @@
+lib/synth/driver.mli: Anneal Ape_circuit Ape_process Ape_util Cost Opamp_problem

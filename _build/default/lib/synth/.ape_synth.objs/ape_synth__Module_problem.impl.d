@@ -1,0 +1,1 @@
+lib/synth/module_problem.ml: Anneal Ape_circuit Ape_device Ape_estimator Ape_process Ape_spice Ape_util Array Cost Float Hashtbl List Option Relax Template

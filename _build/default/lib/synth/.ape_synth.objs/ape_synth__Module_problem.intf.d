@@ -1,0 +1,1 @@
+lib/synth/module_problem.mli: Anneal Ape_estimator Ape_process Ape_util Cost Template

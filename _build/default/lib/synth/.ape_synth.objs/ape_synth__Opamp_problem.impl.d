@@ -1,0 +1,1 @@
+lib/synth/opamp_problem.ml: Ape_circuit Ape_device Ape_estimator Ape_process Ape_spice Ape_util Array Cost Float List Option Printf Relax String Template

@@ -1,0 +1,1 @@
+lib/synth/opamp_problem.mli: Ape_circuit Ape_estimator Ape_process Ape_util Cost

@@ -1,0 +1,1 @@
+lib/synth/relax.ml: Ape_circuit Ape_spice Ape_util Array Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/synth/relax.mli: Ape_circuit Ape_spice

@@ -1,0 +1,1 @@
+lib/synth/template.ml: Ape_circuit Ape_device Ape_util Array Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/synth/template.mli: Ape_circuit Ape_util

@@ -1,0 +1,99 @@
+type schedule = {
+  t_start : float;
+  t_end : float;
+  cooling : float;
+  moves_per_stage : int;
+  max_evaluations : int;
+}
+
+let default_schedule =
+  {
+    t_start = 1.0;
+    t_end = 1e-4;
+    cooling = 0.9;
+    moves_per_stage = 60;
+    max_evaluations = 20_000;
+  }
+
+let quick_schedule =
+  {
+    t_start = 1.0;
+    t_end = 1e-3;
+    cooling = 0.85;
+    moves_per_stage = 25;
+    max_evaluations = 2_500;
+  }
+
+type stats = {
+  evaluations : int;
+  accepted : int;
+  best_cost : float;
+  initial_cost : float;
+  seconds : float;
+}
+
+let clamp01 x = Ape_util.Float_ext.clamp ~lo:0. ~hi:1. x
+
+let optimize ?(schedule = default_schedule) ?(stop_below = neg_infinity)
+    ~rng ~dim ~cost ~x0 () =
+  if dim <= 0 then invalid_arg "Anneal.optimize: dim <= 0";
+  if Array.length x0 <> dim then invalid_arg "Anneal.optimize: x0 size";
+  let start_time = Unix.gettimeofday () in
+  let x = Array.map clamp01 x0 in
+  let evaluations = ref 0 in
+  let eval p =
+    incr evaluations;
+    let c = cost p in
+    if Float.is_nan c then infinity else c
+  in
+  let current = ref (eval x) in
+  let initial_cost = !current in
+  let best = ref (Array.copy x) in
+  let best_cost = ref !current in
+  let accepted = ref 0 in
+  let temp = ref schedule.t_start in
+  (* Move amplitude tracks temperature: wide exploration early, local
+     polishing late. *)
+  let sigma_of_temp t =
+    0.02 +. (0.3 *. (t /. schedule.t_start))
+  in
+  while
+    !temp > schedule.t_end
+    && !evaluations < schedule.max_evaluations
+    && !best_cost >= stop_below
+  do
+    for _ = 1 to schedule.moves_per_stage do
+      if !evaluations < schedule.max_evaluations && !best_cost >= stop_below
+      then begin
+        let coord = Ape_util.Rng.int rng dim in
+        let old_value = x.(coord) in
+        let sigma = sigma_of_temp !temp in
+        x.(coord) <-
+          clamp01 (Ape_util.Rng.gauss rng ~mean:old_value ~sigma);
+        let candidate = eval x in
+        let delta = candidate -. !current in
+        let accept =
+          delta <= 0.
+          || Ape_util.Rng.uniform rng 0. 1. < Float.exp (-.delta /. !temp)
+        in
+        if accept then begin
+          current := candidate;
+          incr accepted;
+          if candidate < !best_cost then begin
+            best_cost := candidate;
+            best := Array.copy x
+          end
+        end
+        else x.(coord) <- old_value
+      end
+    done;
+    temp := !temp *. schedule.cooling
+  done;
+  ( !best,
+    {
+      evaluations = !evaluations;
+      accepted = !accepted;
+      best_cost = !best_cost;
+      initial_cost;
+      seconds = Unix.gettimeofday () -. start_time;
+    } )

@@ -1,0 +1,47 @@
+(** Generic simulated annealing over a box-constrained real vector —
+    the optimisation engine of the ASTRX/OBLX substitute (the paper §3:
+    "the optimization engine is based on a simulated annealing
+    algorithm").
+
+    The state lives in the unit hypercube; problems map it onto their
+    parameter ranges.  Moves perturb one coordinate with a
+    temperature-scaled Gaussian; the classic Metropolis criterion
+    accepts, and a geometric schedule cools. *)
+
+type schedule = {
+  t_start : float;  (** initial temperature (cost units) *)
+  t_end : float;
+  cooling : float;  (** geometric factor per stage, in (0, 1) *)
+  moves_per_stage : int;
+  max_evaluations : int;  (** hard budget *)
+}
+
+val default_schedule : schedule
+(** t 1.0 → 1e-4, cooling 0.9, 60 moves/stage, 20 000 evaluations. *)
+
+val quick_schedule : schedule
+(** Smaller budget for tests and quick benches. *)
+
+type stats = {
+  evaluations : int;
+  accepted : int;
+  best_cost : float;
+  initial_cost : float;
+  seconds : float;
+}
+
+val optimize :
+  ?schedule:schedule ->
+  ?stop_below:float ->
+  rng:Ape_util.Rng.t ->
+  dim:int ->
+  cost:(float array -> float) ->
+  x0:float array ->
+  unit ->
+  float array * stats
+(** [optimize ~rng ~dim ~cost ~x0 ()] returns the best point found and
+    run statistics.  [cost] must accept any point of [[0,1]^dim]; return
+    [infinity] (or large values) for unevaluable candidates.  [x0] is
+    clamped into the cube.  [stop_below] terminates the run as soon as
+    the best cost drops under the threshold (time-to-spec
+    measurements). *)

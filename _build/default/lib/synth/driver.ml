@@ -1,0 +1,91 @@
+module E = Ape_estimator
+
+type result = {
+  row : Opamp_problem.row;
+  mode : Opamp_problem.mode;
+  meets_spec : bool;
+  works : bool;
+  gain : float option;
+  ugf : float option;
+  area : float;
+  power : float;
+  stats : Anneal.stats;
+  best_values : (string * float) list;
+  best_netlist : Ape_circuit.Netlist.t;
+  comment : string;
+}
+
+let comment_of (row : Opamp_problem.row) measurement =
+  match measurement with
+  | None -> "doesn't work."
+  | Some m ->
+    let get k = Cost.find m k in
+    let biased =
+      match get "vout_center" with Some v -> v <= 0.8 | None -> false
+    in
+    if not biased then "doesn't work."
+    else begin
+      let gain_ok =
+        match get "gain" with
+        | Some g -> g >= row.Opamp_problem.gain
+        | None -> false
+      in
+      let ugf_ok =
+        match get "ugf" with
+        | Some u -> u >= row.Opamp_problem.ugf
+        | None -> false
+      in
+      let area_ok =
+        match get "area" with
+        | Some a -> a <= row.Opamp_problem.area
+        | None -> false
+      in
+      if gain_ok && ugf_ok && area_ok then "Meets spec"
+      else begin
+        let gain_val = Option.value ~default:0. (get "gain") in
+        if gain_val < 0.5 *. row.Opamp_problem.gain then "Gain << Spec"
+        else if not gain_ok then "Gain < spec"
+        else if not ugf_ok then "UGF < spec"
+        else begin
+          let area_val = Option.value ~default:infinity (get "area") in
+          if area_val > 3. *. row.Opamp_problem.area then "Area >> Spec"
+          else "Area > spec"
+        end
+      end
+    end
+
+let run ?(schedule = Anneal.default_schedule) ~rng process ~mode row =
+  let design =
+    match mode with
+    | Opamp_problem.Wide -> Opamp_problem.strawman_design process row
+    | Opamp_problem.Ape_centered _ -> Opamp_problem.ape_design process row
+  in
+  let problem = Opamp_problem.build process ~mode row design in
+  let x0 = problem.Opamp_problem.start rng in
+  (* Time-to-spec: stop once every requirement is met, KCL is satisfied
+     and only the small objective pressure remains. *)
+  let best, stats =
+    Anneal.optimize ~schedule ~stop_below:0.05 ~rng
+      ~dim:problem.Opamp_problem.dim ~cost:problem.Opamp_problem.cost ~x0 ()
+  in
+  let best_netlist, measurement = problem.Opamp_problem.final best in
+  let comment = comment_of row measurement in
+  let get k =
+    match measurement with Some m -> Cost.find m k | None -> None
+  in
+  let meets_spec = String.equal comment "Meets spec" in
+  let works = comment <> "doesn't work." in
+  {
+    row;
+    mode;
+    meets_spec;
+    works;
+    gain = get "gain";
+    ugf = get "ugf";
+    area = Option.value ~default:0. (get "area");
+    power = Option.value ~default:0. (get "power");
+    stats;
+    best_values = problem.Opamp_problem.values best;
+    best_netlist;
+    comment;
+  }

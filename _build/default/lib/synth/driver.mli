@@ -1,0 +1,32 @@
+(** Synthesis driver: runs the annealer on a problem and reports in the
+    shape of the paper's Tables 1 and 4. *)
+
+type result = {
+  row : Opamp_problem.row;
+  mode : Opamp_problem.mode;
+  meets_spec : bool;
+  works : bool;  (** DC converged and the output is biased *)
+  gain : float option;
+  ugf : float option;
+  area : float;  (** m² *)
+  power : float;  (** W *)
+  stats : Anneal.stats;
+  best_values : (string * float) list;  (** named unknown values *)
+  best_netlist : Ape_circuit.Netlist.t;
+  comment : string;  (** the paper's "Comments" column *)
+}
+
+val run :
+  ?schedule:Anneal.schedule ->
+  rng:Ape_util.Rng.t ->
+  Ape_process.Process.t ->
+  mode:Opamp_problem.mode ->
+  Opamp_problem.row ->
+  result
+(** Build the APE design (topology; also the interval centres in
+    [Ape_centered] mode), anneal, re-measure the best candidate and
+    classify the outcome. *)
+
+val comment_of : Opamp_problem.row -> Cost.measurement option -> string
+(** "Meets spec", "Gain << Spec", "UGF < spec", "Area >> Spec" or
+    "doesn't work.", following the paper's wording. *)

@@ -1,0 +1,45 @@
+(** Shared OBLX-style bias relaxation: circuit node voltages as
+    optimisation unknowns with Kirchhoff's current law as a penalty.
+
+    The structure (node set, fixed source terminals, MNA indexing) is
+    computed once per problem; candidates differ only in element values,
+    never in connectivity, so the same index serves every evaluation. *)
+
+type t
+
+val create :
+  ?node_window:float ->
+  mode:[ `Wide | `Centered ] ->
+  vdd:float ->
+  Ape_circuit.Netlist.t ->
+  t
+(** [mode = `Wide]: node unknowns range over [[0, vdd]], centred
+    mid-rail.  [mode = `Centered]: a true DC solve of the given netlist
+    provides the centres and unknowns range ±[node_window] (default
+    0.25 V) around them; when that solve fails, centres fall back to
+    mid-rail. *)
+
+val n_free : t -> int
+(** Number of relaxed node-voltage unknowns (append these to the size
+    unknowns). *)
+
+val x_engine : t -> float array -> float array
+(** Full MNA state vector from the unit-cube node part: free nodes
+    mapped through their intervals, source-pinned nodes at their DC
+    values, branch currents zero. *)
+
+val centers_unit : t -> float array
+(** The unit-cube coordinates of the node centres (the starting point
+    for [`Centered] runs). *)
+
+val kcl_penalty : t -> Ape_circuit.Netlist.t -> float array -> float
+(** Voltage-equivalent KCL violation at the relaxed point: mean over
+    free nodes of |f_i|/g_ii, normalised to 50 mV — 0 when Kirchhoff's
+    laws hold, ~1 when nodes are tens of millivolts inconsistent. *)
+
+val node_voltage : t -> float array -> Ape_circuit.Netlist.node -> float
+(** Read a node voltage out of an engine state vector. *)
+
+val fake_op : t -> Ape_circuit.Netlist.t -> float array -> Ape_spice.Dc.op
+(** A {!Ape_spice.Dc.op} at the relaxed point (not a solved operating
+    point!) for AWE/AC evaluation of the candidate. *)

@@ -1,0 +1,120 @@
+module N = Ape_circuit.Netlist
+module I = Ape_util.Interval
+
+type target =
+  | Mos_width of string list
+  | Mos_length of string list
+  | Cap_value of string list
+  | Res_value of string list
+
+type param = { name : string; target : target; range : I.t; log_scale : bool }
+
+let param ?(log_scale = true) ~name ~range target =
+  if log_scale && I.lo range <= 0. then
+    invalid_arg "Template.param: log scale needs positive bounds";
+  { name; target; range; log_scale }
+
+type t = { base : N.t; params : param array }
+
+let target_names = function
+  | Mos_width names | Mos_length names | Cap_value names | Res_value names ->
+    names
+
+let make base params =
+  let available = Hashtbl.create 32 in
+  List.iter
+    (fun e -> Hashtbl.replace available (N.element_name e) e)
+    (N.elements base);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun name ->
+          match Hashtbl.find_opt available name with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Template.make: no element %s for param %s"
+                 name p.name)
+          | Some e -> (
+            match (p.target, e) with
+            | (Mos_width _ | Mos_length _), N.Mosfet _ -> ()
+            | Cap_value _, N.Capacitor _ -> ()
+            | Res_value _, N.Resistor _ -> ()
+            | (Mos_width _ | Mos_length _ | Cap_value _ | Res_value _), _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Template.make: element %s has wrong kind for param %s"
+                   name p.name)))
+        (target_names p.target))
+    params;
+  { base; params = Array.of_list params }
+
+let dim t = Array.length t.params
+
+let value_of_unit p u =
+  let u = Ape_util.Float_ext.clamp ~lo:0. ~hi:1. u in
+  if p.log_scale then
+    I.lo p.range *. ((I.hi p.range /. I.lo p.range) ** u)
+  else I.lo p.range +. (u *. I.width p.range)
+
+let unit_of_value p v =
+  let u =
+    if p.log_scale then
+      Float.log (v /. I.lo p.range)
+      /. Float.log (I.hi p.range /. I.lo p.range)
+    else if I.width p.range = 0. then 0.5
+    else (v -. I.lo p.range) /. I.width p.range
+  in
+  Ape_util.Float_ext.clamp ~lo:0. ~hi:1. u
+
+let instantiate t point =
+  if Array.length point <> dim t then
+    invalid_arg "Template.instantiate: dimension mismatch";
+  (* Collect the assignment for every touched element name. *)
+  let widths = Hashtbl.create 16 in
+  let lengths = Hashtbl.create 4 in
+  let caps = Hashtbl.create 4 in
+  let ress = Hashtbl.create 4 in
+  Array.iteri
+    (fun i p ->
+      let v = value_of_unit p point.(i) in
+      let table =
+        match p.target with
+        | Mos_width _ -> widths
+        | Mos_length _ -> lengths
+        | Cap_value _ -> caps
+        | Res_value _ -> ress
+      in
+      List.iter (fun name -> Hashtbl.replace table name v) (target_names p.target))
+    t.params;
+  let elements =
+    List.map
+      (fun e ->
+        match e with
+        | N.Mosfet ({ name; geom; _ } as m) ->
+          let w =
+            Option.value ~default:geom.Ape_device.Mos.w
+              (Hashtbl.find_opt widths name)
+          in
+          let l =
+            Option.value ~default:geom.Ape_device.Mos.l
+              (Hashtbl.find_opt lengths name)
+          in
+          N.Mosfet { m with geom = Ape_device.Mos.geom ~w ~l }
+        | N.Capacitor ({ name; c; _ } as cap) ->
+          N.Capacitor
+            { cap with c = Option.value ~default:c (Hashtbl.find_opt caps name) }
+        | N.Resistor ({ name; r; _ } as res) ->
+          N.Resistor
+            { res with r = Option.value ~default:r (Hashtbl.find_opt ress name) }
+        | N.Vsource _ | N.Isource _ | N.Vcvs _ | N.Switch _ -> e)
+      (N.elements t.base)
+  in
+  N.make ~title:t.base.N.title elements
+
+let center_point t = Array.make (dim t) 0.5
+
+let values_of_point t point =
+  Array.to_list
+    (Array.mapi
+       (fun i p -> (p.name, value_of_unit p point.(i)))
+       t.params)

@@ -1,0 +1,185 @@
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val norm : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+exception Singular
+
+module Make (F : FIELD) = struct
+  type elt = F.t
+  type t = { nr : int; nc : int; a : F.t array array }
+
+  let create nr nc =
+    if nr < 0 || nc < 0 then invalid_arg "Matrix.create";
+    { nr; nc; a = Array.make_matrix nr nc F.zero }
+
+  let identity n =
+    let m = create n n in
+    for i = 0 to n - 1 do
+      m.a.(i).(i) <- F.one
+    done;
+    m
+
+  let rows m = m.nr
+  let cols m = m.nc
+  let get m i j = m.a.(i).(j)
+  let set m i j x = m.a.(i).(j) <- x
+  let add_to m i j x = m.a.(i).(j) <- F.add m.a.(i).(j) x
+
+  let of_arrays a =
+    let nr = Array.length a in
+    let nc = if nr = 0 then 0 else Array.length a.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> nc then invalid_arg "Matrix.of_arrays: ragged")
+      a;
+    { nr; nc; a = Array.map Array.copy a }
+
+  let to_arrays m = Array.map Array.copy m.a
+  let copy m = { m with a = Array.map Array.copy m.a }
+  let map f m = { m with a = Array.map (Array.map f) m.a }
+
+  let transpose m =
+    let t = create m.nc m.nr in
+    for i = 0 to m.nr - 1 do
+      for j = 0 to m.nc - 1 do
+        t.a.(j).(i) <- m.a.(i).(j)
+      done
+    done;
+    t
+
+  let mat_mul x y =
+    if x.nc <> y.nr then invalid_arg "Matrix.mat_mul: dimension mismatch";
+    let r = create x.nr y.nc in
+    for i = 0 to x.nr - 1 do
+      for j = 0 to y.nc - 1 do
+        let acc = ref F.zero in
+        for k = 0 to x.nc - 1 do
+          acc := F.add !acc (F.mul x.a.(i).(k) y.a.(k).(j))
+        done;
+        r.a.(i).(j) <- !acc
+      done
+    done;
+    r
+
+  let mat_vec m v =
+    if m.nc <> Array.length v then invalid_arg "Matrix.mat_vec";
+    Array.init m.nr (fun i ->
+        let acc = ref F.zero in
+        for j = 0 to m.nc - 1 do
+          acc := F.add !acc (F.mul m.a.(i).(j) v.(j))
+        done;
+        !acc)
+
+  type lu = { lu_a : F.t array array; perm : int array; n : int }
+
+  (* Doolittle LU with partial pivoting; L has unit diagonal and is stored
+     below the diagonal of [lu_a], U on and above it. *)
+  let lu_factor m =
+    if m.nr <> m.nc then invalid_arg "Matrix.lu_factor: not square";
+    let n = m.nr in
+    let a = Array.map Array.copy m.a in
+    let perm = Array.init n (fun i -> i) in
+    for k = 0 to n - 1 do
+      let pivot = ref k and best = ref (F.norm a.(k).(k)) in
+      for i = k + 1 to n - 1 do
+        let v = F.norm a.(i).(k) in
+        if v > !best then begin
+          best := v;
+          pivot := i
+        end
+      done;
+      if !best < 1e-300 then raise Singular;
+      if !pivot <> k then begin
+        let tmp = a.(k) in
+        a.(k) <- a.(!pivot);
+        a.(!pivot) <- tmp;
+        let tp = perm.(k) in
+        perm.(k) <- perm.(!pivot);
+        perm.(!pivot) <- tp
+      end;
+      for i = k + 1 to n - 1 do
+        let factor = F.div a.(i).(k) a.(k).(k) in
+        a.(i).(k) <- factor;
+        for j = k + 1 to n - 1 do
+          a.(i).(j) <- F.sub a.(i).(j) (F.mul factor a.(k).(j))
+        done
+      done
+    done;
+    { lu_a = a; perm; n }
+
+  let lu_solve { lu_a = a; perm; n } b =
+    if Array.length b <> n then invalid_arg "Matrix.lu_solve";
+    let y = Array.init n (fun i -> b.(perm.(i))) in
+    (* Forward substitution with unit-diagonal L. *)
+    for i = 1 to n - 1 do
+      for j = 0 to i - 1 do
+        y.(i) <- F.sub y.(i) (F.mul a.(i).(j) y.(j))
+      done
+    done;
+    (* Back substitution with U. *)
+    for i = n - 1 downto 0 do
+      for j = i + 1 to n - 1 do
+        y.(i) <- F.sub y.(i) (F.mul a.(i).(j) y.(j))
+      done;
+      y.(i) <- F.div y.(i) a.(i).(i)
+    done;
+    y
+
+  let solve m b = lu_solve (lu_factor m) b
+
+  let residual_norm m x b =
+    let ax = mat_vec m x in
+    let worst = ref 0. in
+    Array.iteri
+      (fun i v -> worst := Float.max !worst (F.norm (F.sub v b.(i))))
+      ax;
+    !worst
+
+  let pp fmt m =
+    for i = 0 to m.nr - 1 do
+      Format.fprintf fmt "[";
+      for j = 0 to m.nc - 1 do
+        if j > 0 then Format.fprintf fmt ", ";
+        F.pp fmt m.a.(i).(j)
+      done;
+      Format.fprintf fmt "]@."
+    done
+end
+
+module Rmat = Make (struct
+  type t = float
+
+  let zero = 0.
+  let one = 1.
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let norm = Float.abs
+  let pp fmt x = Format.fprintf fmt "%.6g" x
+end)
+
+module Cmat = Make (struct
+  type t = Complex.t
+
+  let zero = Complex.zero
+  let one = Complex.one
+  let add = Complex.add
+  let sub = Complex.sub
+  let mul = Complex.mul
+  let div = Complex.div
+  let neg = Complex.neg
+  let norm = Complex.norm
+  let pp fmt (c : Complex.t) = Format.fprintf fmt "%.6g%+.6gi" c.re c.im
+end)

@@ -1,0 +1,44 @@
+(** Real-coefficient polynomials.
+
+    The AWE (asymptotic waveform evaluation) module builds Padé
+    denominators from circuit moments and needs their complex roots; the
+    filter designer needs Butterworth prototypes.  Coefficients are stored
+    in ascending order: [c.(i)] multiplies [x^i]. *)
+
+type t
+
+val of_coeffs : float array -> t
+(** Trailing zero coefficients are trimmed; the zero polynomial is
+    represented as [[|0.|]]. *)
+
+val coeffs : t -> float array
+val degree : t -> int
+val zero : t
+val one : t
+val x : t
+(** The monomial x. *)
+
+val eval : t -> float -> float
+val eval_complex : t -> Complex.t -> Complex.t
+val derivative : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val of_real_roots : float list -> t
+(** Monic polynomial with the given real roots. *)
+
+val roots : ?max_iter:int -> ?tol:float -> t -> Complex.t list
+(** All complex roots via the Durand–Kerner (Weierstrass) iteration.
+    Degree must be >= 1.  Adequate for the small degrees (<= 8) used
+    here. *)
+
+val real_roots : ?tol:float -> t -> float list
+(** The roots whose imaginary part is negligible, sorted ascending. *)
+
+val butterworth_poles : int -> Complex.t list
+(** [butterworth_poles n] are the [n] left-half-plane poles of the
+    normalised (ω = 1 rad/s) Butterworth low-pass prototype. *)
+
+val pp : Format.formatter -> t -> unit

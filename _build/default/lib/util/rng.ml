@@ -1,0 +1,29 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66 |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+let uniform t lo hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. (Random.State.float t 1.0 *. (hi -. lo))
+
+let log_uniform t lo hi =
+  if lo <= 0. || hi <= 0. then invalid_arg "Rng.log_uniform: bounds <= 0";
+  Float.exp (uniform t (Float.log lo) (Float.log hi))
+
+let gauss t ~mean ~sigma =
+  let u1 = Float.max 1e-300 (Random.State.float t 1.0) in
+  let u2 = Random.State.float t 1.0 in
+  mean
+  +. sigma
+     *. Float.sqrt (-2. *. Float.log u1)
+     *. Float.cos (2. *. Float.pi *. u2)
+
+let int t n = Random.State.int t n
+let bool t = Random.State.bool t
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty";
+  arr.(Random.State.int t (Array.length arr))
+
+let state t = t

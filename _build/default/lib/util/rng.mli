@@ -1,0 +1,34 @@
+(** Seeded random sources for the annealing engine and the property tests.
+
+    A thin wrapper over [Random.State] so every stochastic component takes
+    an explicit, reproducible source. *)
+
+type t
+
+val create : int -> t
+(** Deterministic source from an integer seed. *)
+
+val split : t -> t
+(** Independent child source (used to give each synthesis run its own
+    stream). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] in [[lo, hi)]. *)
+
+val log_uniform : t -> float -> float -> float
+(** Log-uniform sample; [lo] and [hi] must be positive.  Natural for
+    device widths spanning decades. *)
+
+val gauss : t -> mean:float -> sigma:float -> float
+(** Box–Muller normal sample. *)
+
+val int : t -> int -> int
+(** [int t n] in [[0, n)]. *)
+
+val bool : t -> bool
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val state : t -> Random.State.t
+(** The underlying state, for interoperating with [Interval.sample]. *)

@@ -1,0 +1,66 @@
+(** Engineering units: SI prefixes, engineering-notation formatting and the
+    handful of physical constants the device models need.
+
+    All quantities in the code base are SI (volts, amperes, farads, metres,
+    hertz, watts, seconds).  Helpers such as {!micro} and {!mega} make the
+    source read like the paper's tables ([5000. *. micro *. micro] is
+    5000 square microns). *)
+
+(** {1 SI prefixes} *)
+
+val tera : float
+val giga : float
+val mega : float
+val kilo : float
+val milli : float
+val micro : float
+val nano : float
+val pico : float
+val femto : float
+
+(** {1 Common derived helpers} *)
+
+val um : float
+(** One micrometre in metres (alias of {!micro}). *)
+
+val um2 : float
+(** One square micrometre in square metres. *)
+
+val khz : float
+val mhz : float
+val pf : float
+val ua : float
+val mw : float
+
+(** {1 Physical constants} *)
+
+val q_electron : float
+(** Elementary charge, C. *)
+
+val k_boltzmann : float
+(** Boltzmann constant, J/K. *)
+
+val eps_0 : float
+(** Vacuum permittivity, F/m. *)
+
+val eps_ox : float
+(** Permittivity of SiO2, F/m. *)
+
+val eps_si : float
+(** Permittivity of silicon, F/m. *)
+
+val thermal_voltage : ?temp_k:float -> unit -> float
+(** [thermal_voltage ()] is kT/q at [temp_k] (default 300.15 K). *)
+
+(** {1 Formatting} *)
+
+val to_eng : ?digits:int -> float -> string
+(** [to_eng x] renders [x] in engineering notation with an SI prefix:
+    [to_eng 4.67e6 = "4.67M"], [to_eng 1.3e-5 = "13u"].  [digits] is the
+    number of significant digits (default 3). *)
+
+val to_eng_unit : ?digits:int -> string -> float -> string
+(** [to_eng_unit "Hz" 2.64e6 = "2.64MHz"]. *)
+
+val pp : Format.formatter -> float -> unit
+(** Pretty-print with {!to_eng}. *)

@@ -1,0 +1,1 @@
+lib/vase/constraint_map.ml: Ape_estimator Array Float List

@@ -1,0 +1,1 @@
+lib/vase/constraint_map.mli: Ape_process

@@ -1,0 +1,1 @@
+lib/vase/sexp.ml: Ape_symbolic Buffer List String

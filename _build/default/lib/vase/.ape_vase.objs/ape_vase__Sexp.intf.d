@@ -1,0 +1,1 @@
+lib/vase/sexp.mli:

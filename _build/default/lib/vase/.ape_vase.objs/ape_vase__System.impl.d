@@ -1,0 +1,1 @@
+lib/vase/system.ml: Ape_estimator Constraint_map Float List Option Printf Sexp

@@ -1,0 +1,1 @@
+lib/vase/system.mli: Ape_estimator Ape_process

@@ -1,0 +1,100 @@
+module E = Ape_estimator
+
+type stage_limit = { max_gain : float; area_per_gain : float }
+
+let probe_stage_limit ?(bandwidth = 20e3) process =
+  (* Feasible iff Opamp.design succeeds and realises the requested
+     gain. *)
+  let feasible gain =
+    match
+      E.Opamp.design process
+        (E.Opamp.spec ~av:gain ~ugf:(gain *. bandwidth) ~ibias:1e-6 ())
+    with
+    | design -> Float.abs design.E.Opamp.gain >= 0.95 *. gain
+    | exception E.Opamp.Infeasible _ -> false
+  in
+  (* Grow until infeasible, then bisect. *)
+  let rec grow g = if feasible (2. *. g) && g < 1e6 then grow (2. *. g) else g in
+  let lo = if feasible 10. then grow 10. else 1. in
+  let hi = 2. *. lo in
+  let max_gain =
+    if not (feasible lo) then 1.
+    else begin
+      let rec bisect lo hi k =
+        if k = 0 then lo
+        else begin
+          let mid = Float.sqrt (lo *. hi) in
+          if feasible mid then bisect mid hi (k - 1) else bisect lo mid (k - 1)
+        end
+      in
+      bisect lo hi 12
+    end
+  in
+  let area_per_gain =
+    match
+      E.Opamp.design process
+        (E.Opamp.spec ~av:(Float.min 100. max_gain)
+           ~ugf:(Float.min 100. max_gain *. bandwidth)
+           ~ibias:1e-6 ())
+    with
+    | d ->
+      d.E.Opamp.perf.E.Perf.gate_area
+      /. Float.log (Float.max 2. (Float.min 100. max_gain))
+    | exception E.Opamp.Infeasible _ -> 1e-9
+  in
+  { max_gain; area_per_gain }
+
+let allocate_gain ~total ~limits =
+  if total <= 0. then invalid_arg "Constraint_map.allocate_gain: total <= 0";
+  let n = List.length limits in
+  if n = 0 then None
+  else begin
+    let capacity =
+      List.fold_left (fun acc l -> acc *. l.max_gain) 1. limits
+    in
+    if capacity < total then None
+    else begin
+      (* Directed allocation: clamp saturated stages, re-split the
+         remaining log-gain over the others, iterate to fixpoint. *)
+      let log_total = Float.log total in
+      let assigned = Array.make n 0. in
+      let clamped = Array.make n false in
+      let limits_arr = Array.of_list limits in
+      let rec iterate k =
+        if k = 0 then ()
+        else begin
+          let free = Array.to_list clamped |> List.filter not |> List.length in
+          if free = 0 then ()
+          else begin
+            let used_log = ref 0. in
+            Array.iteri
+              (fun i a -> if clamped.(i) then used_log := !used_log +. Float.log a)
+              assigned;
+            let used_log = !used_log in
+            let per_stage = (log_total -. used_log) /. float_of_int free in
+            let changed = ref false in
+            Array.iteri
+              (fun i limit ->
+                if not clamped.(i) then begin
+                  let g = Float.exp per_stage in
+                  if g > limit.max_gain then begin
+                    assigned.(i) <- limit.max_gain;
+                    clamped.(i) <- true;
+                    changed := true
+                  end
+                  else assigned.(i) <- Float.max 1. g
+                end)
+              limits_arr;
+            if !changed then iterate (k - 1)
+          end
+        end
+      in
+      iterate n;
+      Some (Array.to_list assigned)
+    end
+  end
+
+let allocate_bandwidth ~total ~stages =
+  if stages < 1 then invalid_arg "Constraint_map.allocate_bandwidth";
+  let n = float_of_int stages in
+  total /. Float.sqrt ((2. ** (1. /. n)) -. 1.)

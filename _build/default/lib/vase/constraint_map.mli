@@ -1,0 +1,31 @@
+(** Hierarchical constraint transformation (the VASE pass of paper
+    ref [5]): allocate system-level requirements onto the modules of an
+    architecture using a directed interval search guided by APE
+    feasibility probes.
+
+    For a cascade of gain stages the total gain is a product and the
+    bandwidth a minimum; the allocator starts from an equal split in log
+    space and moves gain away from stages that APE reports infeasible,
+    shrinking the search interval in the direction that restores
+    feasibility. *)
+
+type stage_limit = {
+  max_gain : float;  (** largest per-stage gain APE can realise *)
+  area_per_gain : float;  (** m² per unit log-gain, for cost weighting *)
+}
+
+val probe_stage_limit :
+  ?bandwidth:float -> Ape_process.Process.t -> stage_limit
+(** Binary-search the largest gain a single opamp stage can deliver at
+    the given bandwidth (default 20 kHz). *)
+
+val allocate_gain :
+  total:float -> limits:stage_limit list -> float list option
+(** Per-stage gains whose product covers [total], each within its
+    limit; [None] when the architecture cannot reach the total.  The
+    split is even in log space across stages, after clamping saturated
+    stages to their limits (directed reallocation). *)
+
+val allocate_bandwidth : total:float -> stages:int -> float
+(** Per-stage bandwidth so the cascade keeps [total]:
+    BW_stage = BW_total / sqrt(2^(1/n) − 1). *)

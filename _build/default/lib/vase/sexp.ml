@@ -1,0 +1,87 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let tokenize text =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := `Atom (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | ';' ->
+      flush ();
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    | '(' ->
+      flush ();
+      tokens := `Open :: !tokens
+    | ')' ->
+      flush ();
+      tokens := `Close :: !tokens
+    | ' ' | '\t' | '\n' | '\r' -> flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !tokens
+
+let parse text =
+  let rec parse_list acc = function
+    | [] -> (List.rev acc, [])
+    | `Close :: rest -> (List.rev acc, rest)
+    | `Open :: rest ->
+      let inner, rest = parse_nested rest in
+      parse_list (List inner :: acc) rest
+    | `Atom a :: rest -> parse_list (Atom a :: acc) rest
+  and parse_nested tokens =
+    match parse_list [] tokens with
+    | items, rest -> (items, rest)
+  in
+  let rec top acc = function
+    | [] -> List.rev acc
+    | `Open :: rest ->
+      let inner, rest = parse_nested rest in
+      top (List inner :: acc) rest
+    | `Atom a :: rest -> top (Atom a :: acc) rest
+    | `Close :: _ -> raise (Parse_error "unbalanced ')'")
+  in
+  top [] (tokenize text)
+
+let rec to_string = function
+  | Atom a -> a
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let atom = function
+  | Atom a -> a
+  | List _ as l -> raise (Parse_error ("expected atom, got " ^ to_string l))
+
+let number s =
+  let a = atom s in
+  match Ape_symbolic.Parser.parse_number a with
+  | Some v -> v
+  | None -> raise (Parse_error ("expected number, got " ^ a))
+
+let assoc key items =
+  List.find_map
+    (function
+      | List (Atom k :: rest) when String.equal k key -> Some rest
+      | List _ | Atom _ -> None)
+    items
+
+let assoc_number key items =
+  match assoc key items with
+  | Some [ v ] -> Some (number v)
+  | Some _ | None -> None
+
+let assoc_atom key items =
+  match assoc key items with
+  | Some [ Atom v ] -> Some v
+  | Some _ | None -> None

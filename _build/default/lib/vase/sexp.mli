@@ -1,0 +1,25 @@
+(** Minimal S-expression reader for the system-specification language
+    (the role the VHDL-AMS subset plays in VASE's front end, Figure 1). *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val parse : string -> t list
+(** Parse a sequence of top-level S-expressions.  Comments run from [;]
+    to end of line. *)
+
+val to_string : t -> string
+
+val atom : t -> string
+(** Raises {!Parse_error} when not an atom. *)
+
+val number : t -> float
+(** Atom as a SPICE-style number ("4.7k", "10u"). *)
+
+val assoc : string -> t list -> t list option
+(** [assoc key items] finds [(key a b c)] among [items] and returns
+    [[a; b; c]]. *)
+
+val assoc_number : string -> t list -> float option
+val assoc_atom : string -> t list -> string option

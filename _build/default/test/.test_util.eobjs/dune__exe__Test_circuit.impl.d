@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Ape_circuit Ape_device Ape_process Ape_util Gen List QCheck QCheck_alcotest String

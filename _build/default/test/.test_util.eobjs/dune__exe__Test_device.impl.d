@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Ape_device Ape_process Ape_util Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Ape_circuit Ape_device Ape_estimator Ape_process Ape_symbolic Ape_util Float List Option Printf QCheck QCheck_alcotest String

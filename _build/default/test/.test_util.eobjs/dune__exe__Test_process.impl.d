@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Ape_process Ape_util Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Ape_circuit Ape_device Ape_estimator Ape_process Ape_spice Ape_util Array Complex Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Ape_symbolic Ape_util Float List Printf QCheck QCheck_alcotest

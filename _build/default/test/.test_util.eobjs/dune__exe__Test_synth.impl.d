@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Ape_circuit Ape_device Ape_estimator Ape_process Ape_synth Ape_util Array Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ape_util Array Complex Float Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vase.ml: Alcotest Ape_estimator Ape_process Ape_util Ape_vase Float List QCheck QCheck_alcotest String

@@ -1,0 +1,292 @@
+(* Tests for Ape_circuit: netlist construction/validation, hierarchical
+   instantiation, the builder and the SPICE netlist parser. *)
+
+module N = Ape_circuit.Netlist
+module B = Ape_circuit.Builder
+module Sp = Ape_circuit.Spice_parser
+module Proc = Ape_process.Process
+
+let proc = Proc.c12
+
+let divider () =
+  let b = B.create ~title:"divider" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.resistor b ~a:"vdd" ~b:"mid" 1e3;
+  B.resistor b ~a:"mid" ~b:"0" 1e3;
+  B.finish b
+
+(* ---------- construction & validation ---------- *)
+
+let test_builder_names () =
+  let nl = divider () in
+  Alcotest.(check (list string))
+    "element names"
+    [ "V1"; "R1"; "R2" ]
+    (List.map N.element_name (N.elements nl));
+  Alcotest.(check (list string)) "nodes" [ "mid"; "vdd" ] (N.nodes nl)
+
+let test_ground_aliases () =
+  Alcotest.(check bool) "0" true (N.is_ground "0");
+  Alcotest.(check bool) "gnd" true (N.is_ground "gnd");
+  Alcotest.(check bool) "GND" true (N.is_ground "GND");
+  Alcotest.(check bool) "vdd" false (N.is_ground "vdd")
+
+let expect_invalid nl =
+  match N.validate nl with
+  | exception N.Invalid_netlist _ -> ()
+  | () -> Alcotest.fail "expected Invalid_netlist"
+
+let test_validate_duplicate () =
+  expect_invalid
+    (N.make ~title:"dup"
+       [
+         N.Resistor { name = "R1"; a = "a"; b = "0"; r = 1. };
+         N.Resistor { name = "R1"; a = "a"; b = "0"; r = 2. };
+       ])
+
+let test_validate_no_ground () =
+  expect_invalid
+    (N.make ~title:"floating"
+       [
+         N.Resistor { name = "R1"; a = "a"; b = "b"; r = 1. };
+         N.Resistor { name = "R2"; a = "b"; b = "a"; r = 1. };
+       ])
+
+let test_validate_dangling () =
+  expect_invalid
+    (N.make ~title:"dangling"
+       [
+         N.Resistor { name = "R1"; a = "a"; b = "0"; r = 1. };
+         N.Resistor { name = "R2"; a = "a"; b = "loose"; r = 1. };
+       ])
+
+let test_validate_bad_values () =
+  expect_invalid
+    (N.make ~title:"bad r"
+       [
+         N.Resistor { name = "R1"; a = "a"; b = "0"; r = -5. };
+         N.Resistor { name = "R2"; a = "a"; b = "0"; r = 5. };
+       ])
+
+let test_gate_area_and_counts () =
+  let b = B.create ~title:"mos" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.nmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~w:10e-6 ~l:2e-6;
+  B.nmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~w:20e-6 ~l:1e-6;
+  let nl = B.finish b in
+  Alcotest.(check int) "mosfets" 2 (N.mosfet_count nl);
+  Alcotest.(check int) "devices" 3 (N.device_count nl);
+  Alcotest.(check (float 1e-18)) "gate area" 40e-12 (N.gate_area nl)
+
+(* ---------- instantiate / rename ---------- *)
+
+let test_instantiate () =
+  let child = divider () in
+  let spliced =
+    N.instantiate ~prefix:"u1" ~port_map:[ ("vdd", "supply") ] child
+  in
+  let names = List.map N.element_name spliced in
+  Alcotest.(check (list string))
+    "prefixed names"
+    [ "u1.V1"; "u1.R1"; "u1.R2" ]
+    names;
+  let all_nodes = List.concat_map N.element_nodes spliced in
+  Alcotest.(check bool) "mapped port" true (List.mem "supply" all_nodes);
+  Alcotest.(check bool) "internal prefixed" true (List.mem "u1.mid" all_nodes);
+  Alcotest.(check bool) "ground untouched" true (List.mem "0" all_nodes);
+  Alcotest.(check bool) "old name gone" false (List.mem "vdd" all_nodes)
+
+let test_rename_node () =
+  let nl = N.rename_node ~from:"mid" ~to_:"center" (divider ()) in
+  Alcotest.(check bool) "renamed" true (List.mem "center" (N.nodes nl));
+  Alcotest.(check bool) "old gone" false (List.mem "mid" (N.nodes nl))
+
+let test_merge_append () =
+  let a = divider () in
+  let extra = [ N.Capacitor { name = "C9"; a = "mid"; b = "0"; c = 1e-12 } ] in
+  let nl = N.append a extra in
+  Alcotest.(check int) "appended" 4 (N.device_count nl)
+
+let test_retarget_process () =
+  let b = B.create ~title:"mos" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.nmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~w:10e-6 ~l:2e-6;
+  B.pmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~vdd_node:"vdd" ~w:10e-6 ~l:2e-6;
+  let nl = B.finish b in
+  let p08 = Ape_process.Process.c08 in
+  let retargeted = N.retarget_process p08 nl in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Mosfet { card; geom; _ } ->
+        (match card.Ape_process.Model_card.mos_type with
+        | Ape_process.Model_card.Nmos ->
+          Alcotest.(check string) "nmos card swapped" "CMOSN08"
+            card.Ape_process.Model_card.name
+        | Ape_process.Model_card.Pmos ->
+          Alcotest.(check string) "pmos card swapped" "CMOSP08"
+            card.Ape_process.Model_card.name);
+        Alcotest.(check (float 1e-12)) "geometry untouched" 10e-6
+          geom.Ape_device.Mos.w
+      | _ -> ())
+    (N.elements retargeted)
+
+(* ---------- SPICE output / parser ---------- *)
+
+let test_to_spice_contains_model () =
+  let b = B.create ~title:"tb" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.nmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~w:10e-6 ~l:2e-6;
+  let s = N.to_spice (B.finish b) in
+  Alcotest.(check bool) "has .MODEL" true
+    (Ape_util.Strings.starts_with_ci ~prefix:"* tb" s);
+  Alcotest.(check bool) "model card present" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (Ape_util.Strings.starts_with_ci ~prefix:".model"))
+
+let sample_netlist =
+  "* common source amplifier\n\
+   .MODEL MYN NMOS (VTO=0.7 KP=80U LAMBDA=0.04)\n\
+   VDD vdd 0 DC 5\n\
+   VIN in 0 DC 1.1 AC 1\n\
+   RL vdd out 50k\n\
+   M1 out in 0 0 MYN W=20u L=2.4u\n\
+   CL out 0 1p\n\
+   .END\n"
+
+let test_parse_netlist () =
+  let nl = Sp.parse ~title:"cs" sample_netlist in
+  Alcotest.(check int) "element count" 5 (N.device_count nl);
+  Alcotest.(check int) "one mosfet" 1 (N.mosfet_count nl);
+  let m =
+    List.find
+      (fun e -> match e with N.Mosfet _ -> true | _ -> false)
+      (N.elements nl)
+  in
+  (match m with
+  | N.Mosfet { card; geom; _ } ->
+    Alcotest.(check string) "model resolved" "MYN" card.Ape_process.Model_card.name;
+    Alcotest.(check (float 1e-12)) "width" 20e-6 geom.Ape_device.Mos.w
+  | _ -> Alcotest.fail "expected mosfet")
+
+let test_parse_builtin_models () =
+  let nl =
+    Sp.parse ~title:"builtin"
+      "VDD vdd 0 5\nM1 vdd vdd 0 0 NMOS W=10u L=2u\n"
+  in
+  Alcotest.(check int) "parsed" 2 (N.device_count nl)
+
+let test_parse_sources () =
+  let nl =
+    Sp.parse ~title:"src"
+      "V1 a 0 DC 2.5 AC 1\nI1 a 0 DC 10u\nR1 a 0 1k\n"
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Vsource { dc; ac; _ } ->
+        Alcotest.(check (float 1e-9)) "v dc" 2.5 dc;
+        Alcotest.(check (float 1e-9)) "v ac" 1. ac
+      | N.Isource { dc; _ } -> Alcotest.(check (float 1e-12)) "i dc" 10e-6 dc
+      | _ -> ())
+    (N.elements nl)
+
+let test_parse_switch_and_vcvs () =
+  let nl =
+    Sp.parse ~title:"misc"
+      "V1 a 0 5\n\
+       W1 a b ctrl RON=500 ROFF=1G VT=2.0\n\
+       E1 b 0 a 0 10\n\
+       V2 ctrl 0 5\n\
+       R1 b 0 1k\n"
+  in
+  Alcotest.(check int) "count" 5 (N.device_count nl);
+  List.iter
+    (fun e ->
+      match e with
+      | N.Switch { ron; vthreshold; _ } ->
+        Alcotest.(check (float 1e-9)) "ron" 500. ron;
+        Alcotest.(check (float 1e-9)) "vt" 2.0 vthreshold
+      | N.Vcvs { gain; _ } -> Alcotest.(check (float 1e-9)) "gain" 10. gain
+      | _ -> ())
+    (N.elements nl)
+
+let test_parse_errors () =
+  let expect_bad s =
+    match Sp.parse ~title:"bad" s with
+    | exception Sp.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected Parse_error for: " ^ s)
+  in
+  expect_bad "M1 d g s b NOSUCHMODEL W=1u L=1u\nV1 d 0 5\n";
+  expect_bad "R1 a 0\nV1 a 0 5\n";
+  expect_bad "M1 d g s 0 NMOS L=1u\nV1 d 0 5\nR1 g 0 1k\nR2 s 0 1k\n";
+  expect_bad "Q1 a b c\nV1 a 0 5\n"
+
+let test_parse_roundtrip () =
+  (* to_spice output must be parseable and structurally identical. *)
+  let b = B.create ~title:"rt" in
+  B.vsource b ~p:"vdd" ~n:"0" ~ac:1. 5.;
+  B.nmos b proc ~d:"out" ~g:"vdd" ~s:"0" ~w:12e-6 ~l:3.6e-6;
+  B.resistor b ~a:"vdd" ~b:"out" 10e3;
+  B.capacitor b ~a:"out" ~b:"0" 2e-12;
+  let nl = B.finish b in
+  let reparsed = Sp.parse ~title:"rt" (N.to_spice nl) in
+  Alcotest.(check int) "same element count" (N.device_count nl)
+    (N.device_count reparsed);
+  Alcotest.(check int) "same mosfets" (N.mosfet_count nl)
+    (N.mosfet_count reparsed);
+  Alcotest.(check (float 1e-18)) "same gate area" (N.gate_area nl)
+    (N.gate_area reparsed)
+
+let prop_instantiate_preserves_count =
+  QCheck.Test.make ~name:"instantiate preserves element count" ~count:50
+    QCheck.(string_gen_of_size (Gen.return 3) Gen.printable)
+    (fun prefix ->
+      QCheck.assume
+        (String.length prefix > 0
+        && String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+             prefix);
+      let child = divider () in
+      List.length (N.instantiate ~prefix ~port_map:[] child)
+      = N.device_count child)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ape_circuit"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "builder names" `Quick test_builder_names;
+          Alcotest.test_case "ground aliases" `Quick test_ground_aliases;
+          Alcotest.test_case "counts/area" `Quick test_gate_area_and_counts;
+          Alcotest.test_case "merge/append" `Quick test_merge_append;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "duplicate names" `Quick test_validate_duplicate;
+          Alcotest.test_case "no ground" `Quick test_validate_no_ground;
+          Alcotest.test_case "dangling node" `Quick test_validate_dangling;
+          Alcotest.test_case "bad values" `Quick test_validate_bad_values;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "instantiate" `Quick test_instantiate;
+          Alcotest.test_case "rename" `Quick test_rename_node;
+          Alcotest.test_case "retarget process" `Quick test_retarget_process;
+        ] );
+      qsuite "hierarchy-properties" [ prop_instantiate_preserves_count ];
+      ( "spice-io",
+        [
+          Alcotest.test_case "to_spice" `Quick test_to_spice_contains_model;
+          Alcotest.test_case "parse netlist" `Quick test_parse_netlist;
+          Alcotest.test_case "builtin models" `Quick test_parse_builtin_models;
+          Alcotest.test_case "sources" `Quick test_parse_sources;
+          Alcotest.test_case "switch/vcvs" `Quick test_parse_switch_and_vcvs;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+        ] );
+    ]

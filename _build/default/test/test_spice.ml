@@ -1,0 +1,534 @@
+(* Tests for Ape_spice: DC Newton, AC sweeps against analytic transfer
+   functions, transient integration, AWE moment matching and measurement
+   extraction. *)
+
+module N = Ape_circuit.Netlist
+module B = Ape_circuit.Builder
+module Dc = Ape_spice.Dc
+module Ac = Ape_spice.Ac
+module Tr = Ape_spice.Transient
+module Awe = Ape_spice.Awe
+module Measure = Ape_spice.Measure
+module F = Ape_util.Float_ext
+module Proc = Ape_process.Process
+
+let proc = Proc.c12
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.8g vs %.8g" msg expected actual)
+    true
+    (F.approx_equal ~rtol:tol ~atol:tol expected actual)
+
+(* ---------- DC ---------- *)
+
+let test_dc_divider () =
+  let b = B.create ~title:"div" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.resistor b ~a:"vdd" ~b:"mid" 2e3;
+  B.resistor b ~a:"mid" ~b:"0" 3e3;
+  let op = Dc.solve (B.finish b) in
+  check_close "divider" 3.0 (Dc.voltage op "mid") ~tol:1e-9;
+  (match Dc.branch_current op "V1" with
+  | Some i -> check_close "source current" 1e-3 (Float.abs i) ~tol:1e-9
+  | None -> Alcotest.fail "missing branch current");
+  check_close "power" 5e-3 (Dc.static_power op ~supply:"V1") ~tol:1e-9
+
+let test_dc_isource () =
+  (* 1 mA into a 1 kΩ to ground: 1 V at the node.  Isource p=vdd pushes
+     into n=node. *)
+  let b = B.create ~title:"isrc" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.isource b ~p:"vdd" ~n:"node" 1e-3;
+  B.resistor b ~a:"node" ~b:"0" 1e3;
+  let op = Dc.solve (B.finish b) in
+  check_close "isource node" 1.0 (Dc.voltage op "node") ~tol:1e-6
+
+let test_dc_vcvs () =
+  let b = B.create ~title:"vcvs" in
+  B.vsource b ~p:"in" ~n:"0" 0.5;
+  B.vcvs b ~p:"out" ~n:"0" ~cp:"in" ~cn:"0" 10.;
+  B.resistor b ~a:"out" ~b:"0" 1e3;
+  let op = Dc.solve (B.finish b) in
+  check_close "vcvs gain" 5.0 (Dc.voltage op "out") ~tol:1e-9
+
+let test_dc_diode_mosfet () =
+  let b = B.create ~title:"diode" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.resistor b ~a:"vdd" ~b:"d" 100e3;
+  B.nmos b proc ~d:"d" ~g:"d" ~s:"0" ~w:10e-6 ~l:2.4e-6;
+  let op = Dc.solve (B.finish b) in
+  let vd = Dc.voltage op "d" in
+  Alcotest.(check bool) "diode voltage plausible" true (vd > 0.8 && vd < 2.0);
+  (* KCL: resistor current equals transistor current. *)
+  match Dc.mosfet_regions op with
+  | [ (_, region, ids) ] ->
+    Alcotest.(check bool) "saturated" true (region = Ape_device.Mos.Saturation);
+    check_close "KCL" ((5. -. vd) /. 100e3) ids ~tol:1e-4
+  | _ -> Alcotest.fail "expected one mosfet"
+
+let test_dc_switch () =
+  let net ctrl_v =
+    let b = B.create ~title:"sw" in
+    B.vsource b ~p:"in" ~n:"0" 1.0;
+    B.vsource b ~p:"ctrl" ~n:"0" ctrl_v;
+    B.switch b ~ron:100. ~roff:1e12 ~vthreshold:2.5 ~a:"in" ~b:"out" ~ctrl:"ctrl";
+    B.resistor b ~a:"out" ~b:"0" 100.;
+    B.finish b
+  in
+  let on = Dc.solve (net 5.) and off = Dc.solve (net 0.) in
+  check_close "switch on divides" 0.5 (Dc.voltage on "out") ~tol:1e-6;
+  Alcotest.(check bool) "switch off isolates" true
+    (Dc.voltage off "out" < 1e-6)
+
+let test_dc_diff_pair_convergence () =
+  (* A full differential stage must converge from the generic initial
+     guess. *)
+  let d =
+    Ape_estimator.Diff_pair.design proc
+      (Ape_estimator.Diff_pair.spec ~av:500. Ape_estimator.Diff_pair.Cmos_mirror
+         ~itail:2e-6)
+  in
+  let frag = Ape_estimator.Diff_pair.fragment proc d in
+  let nl = Ape_estimator.Fragment.with_supply ~vdd:5. frag in
+  let nl =
+    N.append nl
+      [
+        N.Vsource { name = "VP"; p = "inp"; n = "0"; dc = 2.5; ac = 0. };
+        N.Vsource { name = "VN"; p = "inn"; n = "0"; dc = 2.5; ac = 0. };
+      ]
+  in
+  let op = Dc.solve nl in
+  Alcotest.(check bool) "converged in < 100 iters" true (op.Dc.iterations < 100)
+
+(* ---------- AC ---------- *)
+
+let rc_lowpass () =
+  let b = B.create ~title:"rc" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.resistor b ~a:"in" ~b:"out" 1e3;
+  B.capacitor b ~a:"out" ~b:"0" 1e-6;
+  B.finish b
+
+let test_ac_rc_analytic () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let fc = 1. /. (2. *. Float.pi *. 1e3 *. 1e-6) in
+  List.iter
+    (fun f ->
+      let mag = Ac.magnitude_at ~node:"out" op f in
+      let expected = 1. /. Float.sqrt (1. +. ((f /. fc) ** 2.)) in
+      check_close (Printf.sprintf "|H| at %g Hz" f) expected mag ~tol:1e-6)
+    [ 1.; 10.; fc; 1e3; 1e4 ]
+
+let test_ac_phase () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let fc = 1. /. (2. *. Float.pi *. 1e3 *. 1e-6) in
+  check_close "phase at fc" (-45.) (Measure.phase_at ~out:"out" op fc)
+    ~tol:1e-3
+
+let test_ac_sweep_shape () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let sweep = Ac.sweep ~points_per_decade:5 ~fstart:1. ~fstop:1e5 op in
+  let mags =
+    List.map (fun (_, v) -> Complex.norm v) (Ac.transfer ~node:"out" sweep)
+  in
+  (* Low-pass: monotone non-increasing. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-12 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone rolloff" true (monotone mags)
+
+let test_measure_f3db_ugf () =
+  (* Amplifying RC: VCVS gain 10 into RC, f3db = fc, UGF = fc*sqrt(100-1). *)
+  let b = B.create ~title:"amp_rc" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.vcvs b ~p:"x" ~n:"0" ~cp:"in" ~cn:"0" 10.;
+  B.resistor b ~a:"x" ~b:"out" 1e3;
+  B.capacitor b ~a:"out" ~b:"0" 1e-9;
+  let op = Dc.solve (B.finish b) in
+  let fc = 1. /. (2. *. Float.pi *. 1e3 *. 1e-9) in
+  check_close "dc gain" 10. (Measure.dc_gain ~out:"out" op) ~tol:1e-9;
+  (match Measure.f_minus_3db ~fmin:10. ~fmax:1e8 ~out:"out" op with
+  | Some f -> check_close "f3db" fc f ~tol:1e-3
+  | None -> Alcotest.fail "no f3db");
+  match Measure.unity_gain_frequency ~fmin:10. ~fmax:1e8 ~out:"out" op with
+  | Some f -> check_close "ugf" (fc *. Float.sqrt 99.) f ~tol:1e-3
+  | None -> Alcotest.fail "no ugf"
+
+let test_measure_bandpass () =
+  (* CR-RC band-pass with buffers: peak near 1/(2 pi RC). *)
+  let b = B.create ~title:"bp" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.capacitor b ~a:"in" ~b:"hp" 100e-9;
+  B.resistor b ~a:"hp" ~b:"0" 1e3;
+  B.vcvs b ~p:"buf" ~n:"0" ~cp:"hp" ~cn:"0" 1.;
+  B.resistor b ~a:"buf" ~b:"out" 1e3;
+  B.capacitor b ~a:"out" ~b:"0" 100e-9;
+  let op = Dc.solve (B.finish b) in
+  match Measure.bandpass_characteristics ~fmin:10. ~fmax:1e5 ~out:"out" op with
+  | Some bp ->
+    let f0 = 1. /. (2. *. Float.pi *. 1e3 *. 100e-9) in
+    check_close "f0" f0 bp.Measure.f_center ~tol:0.02;
+    check_close "peak gain" 0.5 bp.Measure.peak_gain ~tol:0.01
+  | None -> Alcotest.fail "no bandpass found"
+
+(* ---------- Transient ---------- *)
+
+let test_transient_rc_step () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let tau = 1e-3 in
+  let result =
+    Tr.run
+      ~stimulus:[ ("V1", Tr.step ~t0:0. ~high:1. ()) ]
+      ~tstop:(5. *. tau) ~dt:(tau /. 200.) op
+  in
+  List.iter
+    (fun mult ->
+      let t = mult *. tau in
+      let expected = 1. -. Float.exp (-.mult) in
+      check_close
+        (Printf.sprintf "v(out) at %g tau" mult)
+        expected
+        (Tr.value_at result "out" t)
+        ~tol:0.01)
+    [ 0.5; 1.; 2.; 3. ]
+
+let test_transient_trapezoidal () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let tau = 1e-3 in
+  let result =
+    Tr.run ~method_:Tr.Trapezoidal
+      ~stimulus:[ ("V1", Tr.step ~t0:0. ~high:1. ()) ]
+      ~tstop:(3. *. tau) ~dt:(tau /. 100.) op
+  in
+  check_close "trap at 1 tau" (1. -. Float.exp (-1.))
+    (Tr.value_at result "out" tau)
+    ~tol:0.01
+
+let test_transient_helpers () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let tau = 1e-3 in
+  let result =
+    Tr.run
+      ~stimulus:[ ("V1", Tr.step ~t0:0. ~high:1. ()) ]
+      ~tstop:(6. *. tau) ~dt:(tau /. 100.) op
+  in
+  (match Tr.crossing_time result "out" ~level:0.5 with
+  | Some t -> check_close "50% crossing = ln 2 tau" (Float.log 2. *. tau) t ~tol:0.02
+  | None -> Alcotest.fail "no crossing");
+  (match Tr.settling_time result "out" ~final:1.0 ~band:0.02 with
+  | Some t ->
+    Alcotest.(check bool) "2% settling near 3.9 tau" true
+      (t > 3. *. tau && t < 4.5 *. tau)
+  | None -> Alcotest.fail "no settling");
+  let sr = Tr.max_slope result "out" in
+  check_close "max slope = 1/tau" (1. /. tau) sr ~tol:0.05
+
+let test_waveforms () =
+  let p = Tr.pulse ~delay:1e-6 ~rise:1e-9 ~low:0. ~high:5. ~width:1e-6 ~period:4e-6 () in
+  check_close "pulse before delay" 0. (p 0.);
+  check_close "pulse high" 5. (p 1.5e-6);
+  check_close "pulse low again" 0. (p 2.5e-6);
+  check_close "pulse periodic" 5. (p 5.5e-6);
+  let s = Tr.sine ~offset:1. ~ampl:2. ~freq:1e3 () in
+  check_close "sine at 0" 1. (s 0.);
+  check_close "sine peak" 3. (s 0.25e-3) ~tol:1e-6
+
+(* ---------- AWE ---------- *)
+
+let test_awe_rc_pole () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let approx = Awe.pade ~q:1 ~out:"out" op in
+  check_close "dc value" 1. approx.Awe.dc_value ~tol:1e-9;
+  match Awe.dominant_pole_hz approx with
+  | Some f ->
+    check_close "rc pole" (1. /. (2. *. Float.pi *. 1e-3)) f ~tol:1e-6
+  | None -> Alcotest.fail "no pole"
+
+let test_awe_two_pole () =
+  (* Two cascaded (buffered) RC sections: poles at 1/(2pi R1C1), 1/(2pi R2C2). *)
+  let b = B.create ~title:"rc2" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.resistor b ~a:"in" ~b:"m" 1e3;
+  B.capacitor b ~a:"m" ~b:"0" 1e-6;
+  B.vcvs b ~p:"buf" ~n:"0" ~cp:"m" ~cn:"0" 1.;
+  B.resistor b ~a:"buf" ~b:"out" 10e3;
+  B.capacitor b ~a:"out" ~b:"0" 1e-6;
+  let op = Dc.solve (B.finish b) in
+  let approx = Awe.pade ~q:2 ~out:"out" op in
+  let poles =
+    List.map (fun p -> Complex.norm p /. (2. *. Float.pi)) approx.Awe.poles
+    |> List.sort compare
+  in
+  (match poles with
+  | [ p1; p2 ] ->
+    check_close "slow pole" (1. /. (2. *. Float.pi *. 1e-2)) p1 ~tol:1e-3;
+    check_close "fast pole" (1. /. (2. *. Float.pi *. 1e-3)) p2 ~tol:1e-3
+  | _ -> Alcotest.fail "expected two poles");
+  (* The approximant evaluates close to the direct AC solution. *)
+  List.iter
+    (fun f ->
+      let direct = Ac.magnitude_at ~node:"out" op f in
+      let reduced = Complex.norm (Awe.eval approx f) in
+      check_close (Printf.sprintf "awe vs ac at %g" f) direct reduced
+        ~tol:0.02)
+    [ 1.; 10.; 100. ]
+
+let test_awe_ugf_estimate () =
+  let b = B.create ~title:"amp" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.vcvs b ~p:"x" ~n:"0" ~cp:"in" ~cn:"0" 100.;
+  B.resistor b ~a:"x" ~b:"out" 1e3;
+  B.capacitor b ~a:"out" ~b:"0" 1e-9;
+  let op = Dc.solve (B.finish b) in
+  let approx = Awe.pade ~q:1 ~out:"out" op in
+  match Awe.unity_gain_frequency_hz approx with
+  | Some f ->
+    let fc = 1. /. (2. *. Float.pi *. 1e-6) in
+    check_close "single-pole ugf = A0 * f3db" (100. *. fc) f ~tol:1e-3
+  | None -> Alcotest.fail "no ugf"
+
+(* ---------- noise ---------- *)
+
+let four_kt = 4. *. 1.380649e-23 *. 300.15
+
+let test_noise_divider_analytic () =
+  (* Output noise of a resistive divider: 4kT·(R1 || R2). *)
+  let b = B.create ~title:"div" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.resistor b ~a:"in" ~b:"out" 10e3;
+  B.resistor b ~a:"out" ~b:"0" 10e3;
+  let op = Dc.solve (B.finish b) in
+  let total, contributions =
+    Ape_spice.Noise.output_noise ~out:"out" ~freq:1e3 op
+  in
+  check_close "divider 4kT(R1||R2)" (four_kt *. 5e3) total ~tol:1e-6;
+  Alcotest.(check int) "two contributors" 2 (List.length contributions);
+  (* Equal resistors contribute equally. *)
+  match contributions with
+  | [ c1; c2 ] ->
+    check_close "split evenly" c1.Ape_spice.Noise.psd c2.Ape_spice.Noise.psd
+      ~tol:1e-9
+  | _ -> Alcotest.fail "unexpected contribution list"
+
+let test_noise_rc_filtered () =
+  (* kT/C check: integrated noise of an RC is sqrt(kT/C) regardless of
+     R. *)
+  let make r =
+    let b = B.create ~title:"rc" in
+    B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+    B.resistor b ~a:"in" ~b:"out" r;
+    B.capacitor b ~a:"out" ~b:"0" 1e-9;
+    Dc.solve (B.finish b)
+  in
+  let ktc = Float.sqrt (1.380649e-23 *. 300.15 /. 1e-9) in
+  List.iter
+    (fun r ->
+      let vrms =
+        Ape_spice.Noise.integrated_output ~out:"out" ~fstart:1.
+          ~fstop:(100. /. (2. *. Float.pi *. r *. 1e-9))
+          ~points_per_decade:10 (make r)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "kT/C within 10%% for R=%g (got %g vs %g)" r vrms ktc)
+        true
+        (F.rel_error ktc vrms < 0.1))
+    [ 1e3; 100e3 ]
+
+let test_noise_mosfet_thermal () =
+  (* A diode-connected MOSFET's output noise: roughly
+     4kT·(2/3)·gm·(1/gm)² + resistor term. *)
+  let b = B.create ~title:"mosn" in
+  B.vsource b ~p:"vdd" ~n:"0" ~ac:1. 5.;
+  B.resistor b ~a:"vdd" ~b:"d" 100e3;
+  B.nmos b proc ~d:"d" ~g:"d" ~s:"0" ~w:20e-6 ~l:2.4e-6;
+  let op = Dc.solve (B.finish b) in
+  let total, contributions =
+    Ape_spice.Noise.output_noise ~out:"d" ~freq:1e6 op
+  in
+  Alcotest.(check bool) "positive noise" true (total > 0.);
+  Alcotest.(check bool) "mosfet contributes" true
+    (List.exists
+       (fun c -> c.Ape_spice.Noise.element = "M1" && c.Ape_spice.Noise.psd > 0.)
+       contributions)
+
+let test_noise_flicker_rolloff () =
+  (* 1/f: the MOSFET contribution at 10 Hz exceeds the one at 1 MHz. *)
+  let b = B.create ~title:"mosn" in
+  B.vsource b ~p:"vdd" ~n:"0" ~ac:1. 5.;
+  B.resistor b ~a:"vdd" ~b:"d" 100e3;
+  B.nmos b proc ~d:"d" ~g:"d" ~s:"0" ~w:20e-6 ~l:2.4e-6;
+  let op = Dc.solve (B.finish b) in
+  let mos_psd freq =
+    let _, contributions = Ape_spice.Noise.output_noise ~out:"d" ~freq op in
+    (List.find (fun c -> c.Ape_spice.Noise.element = "M1") contributions)
+      .Ape_spice.Noise.psd
+  in
+  Alcotest.(check bool) "flicker dominates at low frequency" true
+    (mos_psd 10. > mos_psd 1e6)
+
+(* ---------- dc sweep ---------- *)
+
+let test_sweep_transfer () =
+  let b = B.create ~title:"div" in
+  B.vsource b ~p:"in" ~n:"0" 0.;
+  B.resistor b ~a:"in" ~b:"out" 1e3;
+  B.resistor b ~a:"out" ~b:"0" 1e3;
+  let nl = B.finish b in
+  let pts =
+    Ape_spice.Sweep.transfer ~source:"V1" ~out:"out"
+      ~values:[ 0.; 1.; 2.; 3. ] nl
+  in
+  List.iter
+    (fun (vin, vout) -> check_close "halving" (vin /. 2.) vout ~tol:1e-9)
+    pts
+
+let test_sweep_crossing () =
+  let b = B.create ~title:"div" in
+  B.vsource b ~p:"in" ~n:"0" 0.;
+  B.resistor b ~a:"in" ~b:"out" 1e3;
+  B.resistor b ~a:"out" ~b:"0" 1e3;
+  let nl = B.finish b in
+  (match
+     Ape_spice.Sweep.crossing ~source:"V1" ~out:"out" ~level:1.25 ~lo:0.
+       ~hi:5. nl
+   with
+  | Some v -> check_close "crossing at 2.5" 2.5 v ~tol:1e-6
+  | None -> Alcotest.fail "crossing not found");
+  Alcotest.(check bool) "no crossing above range" true
+    (Ape_spice.Sweep.crossing ~source:"V1" ~out:"out" ~level:10. ~lo:0.
+       ~hi:5. nl
+    = None)
+
+(* ---------- properties ---------- *)
+
+let test_transient_matches_ac_steady_state () =
+  (* Drive the RC with a sine at fc: after the transient dies, the
+     output amplitude must equal the AC magnitude at that frequency. *)
+  let op = Dc.solve (rc_lowpass ()) in
+  let fc = 1. /. (2. *. Float.pi *. 1e-3) in
+  let ac_mag = Ac.magnitude_at ~node:"out" op fc in
+  let period = 1. /. fc in
+  let result =
+    Tr.run
+      ~stimulus:[ ("V1", Tr.sine ~ampl:1. ~freq:fc ()) ]
+      ~tstop:(10. *. period) ~dt:(period /. 200.) op
+  in
+  (* Peak over the last two periods. *)
+  let ys = Tr.samples result "out" and ts = result.Tr.times in
+  let peak = ref 0. in
+  Array.iteri
+    (fun i t -> if t > 8. *. period then peak := Float.max !peak (Float.abs ys.(i)))
+    ts;
+  check_close "steady-state amplitude = |H(fc)|" ac_mag !peak ~tol:0.01
+
+let test_estimator_cross_process () =
+  (* The whole estimate-vs-simulate story holds on the second built-in
+     deck too. *)
+  let p08 = Proc.c08 in
+  let d =
+    Ape_estimator.Diff_pair.design p08
+      (Ape_estimator.Diff_pair.spec ~av:400.
+         Ape_estimator.Diff_pair.Cmos_mirror ~itail:2e-6)
+  in
+  let sim = Ape_estimator.Verify.sim_diff_pair p08 d in
+  (match (d.Ape_estimator.Diff_pair.perf.Ape_estimator.Perf.gain,
+          sim.Ape_estimator.Perf.gain) with
+  | Some est, Some meas ->
+    Alcotest.(check bool)
+      (Printf.sprintf "c08 gain within 50%% (est %.1f sim %.1f)" est meas)
+      true
+      (F.rel_error est meas < 0.5)
+  | _ -> Alcotest.fail "missing gains");
+  match (d.Ape_estimator.Diff_pair.perf.Ape_estimator.Perf.dc_power,
+         sim.Ape_estimator.Perf.dc_power) with
+  | est, meas ->
+    Alcotest.(check bool) "c08 power within 10%" true
+      (F.rel_error est meas < 0.1)
+
+let prop_ac_rc_any_freq =
+  QCheck.Test.make ~name:"RC low-pass matches analytic response" ~count:60
+    (QCheck.float_range 0.5 6.) (fun logf ->
+      let f = 10. ** logf in
+      let op = Dc.solve (rc_lowpass ()) in
+      let fc = 1. /. (2. *. Float.pi *. 1e-3) in
+      let mag = Ac.magnitude_at ~node:"out" op f in
+      let expected = 1. /. Float.sqrt (1. +. ((f /. fc) ** 2.)) in
+      F.approx_equal ~rtol:1e-6 ~atol:1e-9 expected mag)
+
+let prop_dc_divider_ratio =
+  QCheck.Test.make ~name:"two-resistor divider always splits by ratio"
+    ~count:100
+    QCheck.(pair (float_range 2. 6.) (float_range 2. 6.))
+    (fun (lr1, lr2) ->
+      let r1 = 10. ** lr1 and r2 = 10. ** lr2 in
+      let b = B.create ~title:"div" in
+      B.vsource b ~p:"vdd" ~n:"0" 5.;
+      B.resistor b ~a:"vdd" ~b:"mid" r1;
+      B.resistor b ~a:"mid" ~b:"0" r2;
+      let op = Dc.solve (B.finish b) in
+      F.approx_equal ~rtol:1e-6 ~atol:1e-9
+        (5. *. r2 /. (r1 +. r2))
+        (Dc.voltage op "mid"))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ape_spice"
+    [
+      ( "dc",
+        [
+          Alcotest.test_case "divider" `Quick test_dc_divider;
+          Alcotest.test_case "current source" `Quick test_dc_isource;
+          Alcotest.test_case "vcvs" `Quick test_dc_vcvs;
+          Alcotest.test_case "diode mosfet" `Quick test_dc_diode_mosfet;
+          Alcotest.test_case "switch" `Quick test_dc_switch;
+          Alcotest.test_case "diff pair convergence" `Quick
+            test_dc_diff_pair_convergence;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "rc analytic" `Quick test_ac_rc_analytic;
+          Alcotest.test_case "phase" `Quick test_ac_phase;
+          Alcotest.test_case "sweep shape" `Quick test_ac_sweep_shape;
+          Alcotest.test_case "f3db/ugf" `Quick test_measure_f3db_ugf;
+          Alcotest.test_case "bandpass" `Quick test_measure_bandpass;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "rc step BE" `Quick test_transient_rc_step;
+          Alcotest.test_case "rc step trapezoidal" `Quick
+            test_transient_trapezoidal;
+          Alcotest.test_case "helpers" `Quick test_transient_helpers;
+          Alcotest.test_case "waveforms" `Quick test_waveforms;
+        ] );
+      ( "awe",
+        [
+          Alcotest.test_case "rc pole" `Quick test_awe_rc_pole;
+          Alcotest.test_case "two poles" `Quick test_awe_two_pole;
+          Alcotest.test_case "ugf estimate" `Quick test_awe_ugf_estimate;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "divider analytic" `Quick
+            test_noise_divider_analytic;
+          Alcotest.test_case "kT/C" `Quick test_noise_rc_filtered;
+          Alcotest.test_case "mosfet thermal" `Quick test_noise_mosfet_thermal;
+          Alcotest.test_case "flicker rolloff" `Quick
+            test_noise_flicker_rolloff;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "transfer" `Quick test_sweep_transfer;
+          Alcotest.test_case "crossing" `Quick test_sweep_crossing;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "transient vs AC steady state" `Quick
+            test_transient_matches_ac_steady_state;
+          Alcotest.test_case "cross-process estimator" `Quick
+            test_estimator_cross_process;
+        ] );
+      qsuite "properties" [ prop_ac_rc_any_freq; prop_dc_divider_ratio ];
+    ]

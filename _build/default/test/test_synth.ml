@@ -1,0 +1,326 @@
+(* Tests for Ape_synth: the annealer, parameter templates, the cost
+   model, and the Table-1/Table-4 driver behaviour. *)
+
+module S = Ape_synth
+module E = Ape_estimator
+module N = Ape_circuit.Netlist
+module I = Ape_util.Interval
+module F = Ape_util.Float_ext
+
+let proc = Ape_process.Process.c12
+
+(* ---------- anneal ---------- *)
+
+let test_anneal_quadratic () =
+  let rng = Ape_util.Rng.create 5 in
+  let target = [| 0.3; 0.7; 0.5 |] in
+  let cost x =
+    Array.to_list (Array.mapi (fun i v -> F.sq (v -. target.(i))) x)
+    |> List.fold_left ( +. ) 0.
+  in
+  let best, stats =
+    S.Anneal.optimize ~schedule:S.Anneal.quick_schedule ~rng ~dim:3 ~cost
+      ~x0:[| 0.; 0.; 0. |] ()
+  in
+  Alcotest.(check bool) "found minimum" true (stats.S.Anneal.best_cost < 1e-2);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "coordinate %d near target" i)
+        true
+        (Float.abs (v -. target.(i)) < 0.1))
+    best
+
+let test_anneal_early_stop () =
+  let rng = Ape_util.Rng.create 5 in
+  let cost _ = 0.001 in
+  let _, stats =
+    S.Anneal.optimize ~stop_below:0.01 ~rng ~dim:2 ~cost ~x0:[| 0.5; 0.5 |] ()
+  in
+  Alcotest.(check int) "stopped after first eval" 1 stats.S.Anneal.evaluations
+
+let test_anneal_budget () =
+  let rng = Ape_util.Rng.create 5 in
+  let schedule = { S.Anneal.quick_schedule with S.Anneal.max_evaluations = 50 } in
+  let evals = ref 0 in
+  let cost _ = incr evals; 1.0 in
+  let _, stats =
+    S.Anneal.optimize ~schedule ~rng ~dim:2 ~cost ~x0:[| 0.5; 0.5 |] ()
+  in
+  Alcotest.(check bool) "respects budget" true (stats.S.Anneal.evaluations <= 50)
+
+let test_anneal_nan_hostile () =
+  let rng = Ape_util.Rng.create 5 in
+  let cost x = if x.(0) > 0.5 then Float.nan else x.(0) in
+  let best, _ =
+    S.Anneal.optimize ~schedule:S.Anneal.quick_schedule ~rng ~dim:1 ~cost
+      ~x0:[| 0.4 |] ()
+  in
+  Alcotest.(check bool) "avoids NaN region" true (best.(0) <= 0.5)
+
+(* ---------- template ---------- *)
+
+let base_netlist () =
+  let b = Ape_circuit.Builder.create ~title:"t" in
+  Ape_circuit.Builder.vsource b ~p:"vdd" ~n:"0" 5.;
+  Ape_circuit.Builder.nmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~w:10e-6 ~l:2e-6;
+  Ape_circuit.Builder.nmos b proc ~d:"vdd" ~g:"vdd" ~s:"0" ~w:10e-6 ~l:2e-6;
+  Ape_circuit.Builder.resistor b ~a:"vdd" ~b:"0" 1e3;
+  Ape_circuit.Builder.capacitor b ~a:"vdd" ~b:"0" 1e-12;
+  Ape_circuit.Builder.finish b
+
+let test_template_instantiate () =
+  let nl = base_netlist () in
+  let t =
+    S.Template.make nl
+      [
+        S.Template.param ~name:"w" ~range:(I.make 1e-6 100e-6)
+          (S.Template.Mos_width [ "M1"; "M2" ]);
+        S.Template.param ~name:"r" ~range:(I.make 100. 1e6)
+          (S.Template.Res_value [ "R1" ]);
+      ]
+  in
+  Alcotest.(check int) "dim" 2 (S.Template.dim t);
+  let out = S.Template.instantiate t [| 1.; 0. |] in
+  List.iter
+    (fun e ->
+      match e with
+      | N.Mosfet { geom; _ } ->
+        Alcotest.(check (float 1e-9)) "w at max" 100e-6 geom.Ape_device.Mos.w
+      | N.Resistor { r; _ } ->
+        Alcotest.(check (float 1e-6)) "r at min" 100. r
+      | _ -> ())
+    (N.elements out)
+
+let test_template_bad_references () =
+  let nl = base_netlist () in
+  let bad name target =
+    match S.Template.make nl [ S.Template.param ~name ~range:(I.make 1. 2.) target ] with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail ("expected Invalid_argument for " ^ name)
+  in
+  bad "missing" (S.Template.Mos_width [ "M99" ]);
+  bad "wrong kind" (S.Template.Cap_value [ "R1" ])
+
+let prop_value_unit_roundtrip =
+  QCheck.Test.make ~name:"value_of_unit / unit_of_value inverse" ~count:200
+    QCheck.(pair (float_range 0. 1.) bool)
+    (fun (u, log_scale) ->
+      let p =
+        S.Template.param ~log_scale ~name:"p" ~range:(I.make 1e-6 1e-3)
+          (S.Template.Res_value [ "R1" ])
+      in
+      let v = S.Template.value_of_unit p u in
+      F.approx_equal ~rtol:1e-9 ~atol:1e-9 u (S.Template.unit_of_value p v))
+
+let test_center_point () =
+  let nl = base_netlist () in
+  let t =
+    S.Template.make nl
+      [
+        S.Template.param ~log_scale:false ~name:"r" ~range:(I.make 100. 300.)
+          (S.Template.Res_value [ "R1" ]);
+      ]
+  in
+  let values = S.Template.values_of_point t (S.Template.center_point t) in
+  Alcotest.(check (float 1e-6)) "linear center" 200. (List.assoc "r" values)
+
+(* ---------- cost ---------- *)
+
+let test_cost_violations () =
+  let model =
+    S.Cost.make
+      [ S.Cost.at_least "gain" 100.; S.Cost.at_most "area" 1e-9 ]
+      [ S.Cost.minimize "power" ~scale:1e-3 ]
+  in
+  let good = [ ("gain", 150.); ("area", 0.5e-9); ("power", 1e-4) ] in
+  let bad = [ ("gain", 50.); ("area", 2e-9); ("power", 1e-4) ] in
+  Alcotest.(check bool) "good satisfied" true (S.Cost.all_satisfied model good);
+  Alcotest.(check bool) "bad violates" false (S.Cost.all_satisfied model bad);
+  Alcotest.(check bool) "good cheaper" true
+    (S.Cost.evaluate model (Some good) < S.Cost.evaluate model (Some bad));
+  Alcotest.(check bool) "failure is most expensive" true
+    (S.Cost.evaluate model None > S.Cost.evaluate model (Some bad));
+  (* Missing metric = gross violation. *)
+  Alcotest.(check bool) "missing metric violates" false
+    (S.Cost.all_satisfied model [ ("area", 0.5e-9) ])
+
+let test_cost_report () =
+  let model = S.Cost.make [ S.Cost.at_least "gain" 100. ] [] in
+  match S.Cost.report model [ ("gain", 120.) ] with
+  | [ ("gain", v, true) ] -> Alcotest.(check (float 1e-9)) "reported" 120. v
+  | _ -> Alcotest.fail "bad report shape"
+
+(* ---------- opamp problem / driver ---------- *)
+
+let small_row =
+  {
+    S.Opamp_problem.name = "t1";
+    gain = 150.;
+    ugf = 2e6;
+    area = 1.;
+    ibias = 1e-6;
+    curr_src = E.Bias.Simple;
+    buffer = false;
+    zout = None;
+    cl = 10e-12;
+  }
+
+let row_with_budget () =
+  let ape = S.Opamp_problem.ape_design proc small_row in
+  { small_row with S.Opamp_problem.area = 1.3 *. ape.E.Opamp.perf.E.Perf.gate_area }
+
+let test_ape_centered_meets_fast () =
+  let row = row_with_budget () in
+  let rng = Ape_util.Rng.create 31 in
+  let r =
+    S.Driver.run ~schedule:S.Anneal.quick_schedule ~rng proc
+      ~mode:(S.Opamp_problem.Ape_centered 0.2) row
+  in
+  Alcotest.(check bool) "meets spec" true r.S.Driver.meets_spec;
+  (* The relaxed in-loop metrics carry safety margins, so the annealer
+     may use its whole (small) budget even though the start point already
+     satisfies the true specs. *)
+  Alcotest.(check bool) "stays within the quick budget" true
+    (r.S.Driver.stats.S.Anneal.evaluations
+    <= S.Anneal.quick_schedule.S.Anneal.max_evaluations)
+
+let test_template_groups_matched () =
+  let row = row_with_budget () in
+  let design = S.Opamp_problem.ape_design proc row in
+  let problem =
+    S.Opamp_problem.build proc ~mode:(S.Opamp_problem.Ape_centered 0.2) row
+      design
+  in
+  (* Instantiating any point must keep the diff pair matched. *)
+  let rng = Ape_util.Rng.create 9 in
+  for _ = 1 to 5 do
+    let point =
+      Array.init problem.S.Opamp_problem.dim (fun _ ->
+          Ape_util.Rng.uniform rng 0. 1.)
+    in
+    let nl, _ = problem.S.Opamp_problem.final point in
+    let w name =
+      List.find_map
+        (fun e ->
+          match e with
+          | N.Mosfet { name = n; geom; _ } when n = name ->
+            Some geom.Ape_device.Mos.w
+          | _ -> None)
+        (N.elements nl)
+    in
+    match (w "d1.M1", w "d1.M2") with
+    | Some w1, Some w2 ->
+      Alcotest.(check (float 1e-15)) "pair matched" w1 w2
+    | _ -> Alcotest.fail "pair devices missing"
+  done
+
+let test_measure_keys () =
+  let row = row_with_budget () in
+  let design = S.Opamp_problem.ape_design proc row in
+  let problem =
+    S.Opamp_problem.build proc ~mode:(S.Opamp_problem.Ape_centered 0.2) row
+      design
+  in
+  let rng = Ape_util.Rng.create 9 in
+  let start = problem.S.Opamp_problem.start rng in
+  (* The true measurement of the APE-centred candidate carries all the
+     verdict keys. *)
+  (match snd (problem.S.Opamp_problem.final start) with
+  | None -> Alcotest.fail "measurement failed at APE center"
+  | Some m ->
+    List.iter
+      (fun key ->
+        Alcotest.(check bool) ("has " ^ key) true (S.Cost.find m key <> None))
+      [ "gain"; "ugf"; "area"; "power"; "vout_center" ]);
+  (* At the APE centre, KCL is satisfied and the relaxed cost is small
+     (specs met + tiny pressure). *)
+  let c = problem.S.Opamp_problem.cost start in
+  Alcotest.(check bool)
+    (Printf.sprintf "relaxed cost small at APE centre (%.4f)" c)
+    true (c < 0.3)
+
+let test_comment_classification () =
+  let row = { small_row with S.Opamp_problem.area = 1e-9 } in
+  Alcotest.(check string) "none = doesn't work" "doesn't work."
+    (S.Driver.comment_of row None);
+  Alcotest.(check string) "railed = doesn't work" "doesn't work."
+    (S.Driver.comment_of row (Some [ ("vout_center", 2.0) ]));
+  Alcotest.(check string) "meets"
+    "Meets spec"
+    (S.Driver.comment_of row
+       (Some
+          [
+            ("gain", 200.); ("ugf", 3e6); ("area", 0.5e-9); ("vout_center", 0.1);
+          ]));
+  Alcotest.(check string) "gain collapse" "Gain << Spec"
+    (S.Driver.comment_of row
+       (Some [ ("gain", 1.); ("ugf", 3e6); ("area", 0.5e-9); ("vout_center", 0.1) ]));
+  Alcotest.(check string) "area blowup" "Area >> Spec"
+    (S.Driver.comment_of row
+       (Some [ ("gain", 200.); ("ugf", 3e6); ("area", 9e-9); ("vout_center", 0.1) ]))
+
+(* ---------- module problems ---------- *)
+
+let test_module_problem_ape_centered () =
+  let rng = Ape_util.Rng.create 17 in
+  let kind = S.Module_problem.M_sh { gain = 2.0; bandwidth = 20e3; sr = 1e4 } in
+  let design = S.Module_problem.ape_module proc kind in
+  let area_max = 1.4 *. (E.Module_lib.perf design).E.Perf.gate_area in
+  let r =
+    S.Module_problem.run ~schedule:S.Anneal.quick_schedule ~rng proc
+      ~mode:(S.Module_problem.Ape_centered 0.2) ~area_max kind
+  in
+  Alcotest.(check bool) "s&h ape-centered meets" true r.S.Module_problem.meets_spec
+
+let test_module_problem_adc_scaling () =
+  let rng = Ape_util.Rng.create 23 in
+  let kind = S.Module_problem.M_adc { bits = 4; delay = 5e-6 } in
+  let problem =
+    S.Module_problem.build ~rng proc ~mode:(S.Module_problem.Ape_centered 0.2)
+      ~area_max:1e-7 kind
+  in
+  Alcotest.(check (float 1e-9)) "adc area scale = 2^n - 1" 15.
+    problem.S.Module_problem.area_scale
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ape_synth"
+    [
+      ( "anneal",
+        [
+          Alcotest.test_case "quadratic" `Quick test_anneal_quadratic;
+          Alcotest.test_case "early stop" `Quick test_anneal_early_stop;
+          Alcotest.test_case "budget" `Quick test_anneal_budget;
+          Alcotest.test_case "nan hostile" `Quick test_anneal_nan_hostile;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "instantiate" `Quick test_template_instantiate;
+          Alcotest.test_case "bad references" `Quick test_template_bad_references;
+          Alcotest.test_case "center point" `Quick test_center_point;
+        ] );
+      qsuite "template-properties" [ prop_value_unit_roundtrip ];
+      ( "cost",
+        [
+          Alcotest.test_case "violations" `Quick test_cost_violations;
+          Alcotest.test_case "report" `Quick test_cost_report;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "ape-centered meets quickly" `Quick
+            test_ape_centered_meets_fast;
+          Alcotest.test_case "matched groups" `Quick test_template_groups_matched;
+          Alcotest.test_case "measurement keys" `Quick test_measure_keys;
+          Alcotest.test_case "comment classification" `Quick
+            test_comment_classification;
+        ] );
+      ( "module-problems",
+        [
+          Alcotest.test_case "s&h ape-centered" `Quick
+            test_module_problem_ape_centered;
+          Alcotest.test_case "adc area scaling" `Quick
+            test_module_problem_adc_scaling;
+        ] );
+    ]

@@ -1,0 +1,403 @@
+(* Unit and property tests for Ape_util: units, float helpers, intervals,
+   matrices, polynomials, root finding, RNG, strings, tables. *)
+
+module U = Ape_util.Units
+module F = Ape_util.Float_ext
+module I = Ape_util.Interval
+module Rmat = Ape_util.Matrix.Rmat
+module Cmat = Ape_util.Matrix.Cmat
+module Poly = Ape_util.Poly
+module Root = Ape_util.Rootfind
+module Rng = Ape_util.Rng
+module Strings = Ape_util.Strings
+module Table = Ape_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let checkf msg expected actual = check_float msg expected actual
+let check_close ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.8g vs %.8g" msg expected actual)
+    true
+    (F.approx_equal ~rtol:tol ~atol:tol expected actual)
+
+(* ---------- Units ---------- *)
+
+let test_eng_format () =
+  Alcotest.(check string) "mega" "4.67M" (U.to_eng 4.67e6);
+  Alcotest.(check string) "micro" "13u" (U.to_eng 1.3e-5);
+  Alcotest.(check string) "unit" "5" (U.to_eng 5.);
+  Alcotest.(check string) "negative" "-2.5m" (U.to_eng (-2.5e-3));
+  Alcotest.(check string) "zero" "0" (U.to_eng 0.);
+  Alcotest.(check string) "kilo trim" "10k" (U.to_eng 1e4);
+  Alcotest.(check string) "with unit" "2.64MHz" (U.to_eng_unit "Hz" 2.64e6)
+
+let test_constants () =
+  checkf "um2" 1e-12 U.um2;
+  check_close "thermal voltage at 300.15K" 0.02585
+    (U.thermal_voltage ()) ~tol:1e-3;
+  check_close "eps_ox" 3.9 (U.eps_ox /. U.eps_0)
+
+(* ---------- Float_ext ---------- *)
+
+let test_float_helpers () =
+  Alcotest.(check bool) "approx eq" true (F.approx_equal 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "approx ne" false (F.approx_equal 1.0 1.1);
+  checkf "clamp hi" 2. (F.clamp ~lo:0. ~hi:2. 5.);
+  checkf "clamp lo" 0. (F.clamp ~lo:0. ~hi:2. (-1.));
+  checkf "lerp mid" 1.5 (F.lerp 1. 2. 0.5);
+  Alcotest.(check int) "linspace length" 5 (List.length (F.linspace 0. 1. 5));
+  checkf "linspace last" 1. (List.nth (F.linspace 0. 1. 5) 4);
+  check_close "logspace mid" 10. (List.nth (F.logspace 1. 100. 3) 1);
+  checkf "db of 10" 20. (F.db_of_gain 10.);
+  check_close "gain of 20dB" 10. (F.gain_of_db 20.);
+  checkf "mean" 2. (F.mean [ 1.; 2.; 3. ]);
+  check_close "geometric mean" 2. (F.geometric_mean [ 1.; 4. ]);
+  checkf "rel error" 0.1 (F.rel_error 10. 11.)
+
+let test_float_errors () =
+  Alcotest.check_raises "clamp bad" (Invalid_argument "Float_ext.clamp: lo > hi")
+    (fun () -> ignore (F.clamp ~lo:2. ~hi:1. 0.));
+  Alcotest.check_raises "mean empty" (Invalid_argument "Float_ext.mean: empty")
+    (fun () -> ignore (F.mean []))
+
+(* ---------- Interval ---------- *)
+
+let test_interval_basic () =
+  let iv = I.make 1. 3. in
+  checkf "lo" 1. (I.lo iv);
+  checkf "hi" 3. (I.hi iv);
+  checkf "mid" 2. (I.mid iv);
+  checkf "width" 2. (I.width iv);
+  Alcotest.(check bool) "contains" true (I.contains iv 2.5);
+  Alcotest.(check bool) "not contains" false (I.contains iv 3.5);
+  checkf "clamp" 3. (I.clamp iv 4.);
+  let c = I.of_center ~pct:0.2 10. in
+  checkf "center lo" 8. (I.lo c);
+  checkf "center hi" 12. (I.hi c);
+  (* Negative centre keeps bounds ordered. *)
+  let n = I.of_center ~pct:0.2 (-10.) in
+  Alcotest.(check bool) "neg ordered" true (I.lo n < I.hi n)
+
+let test_interval_ops () =
+  let a = I.make 1. 2. and b = I.make (-1.) 3. in
+  checkf "add lo" 0. (I.lo (I.add a b));
+  checkf "add hi" 5. (I.hi (I.add a b));
+  checkf "mul lo" (-2.) (I.lo (I.mul a b));
+  checkf "mul hi" 6. (I.hi (I.mul a b));
+  Alcotest.(check bool) "intersect none" true
+    (I.intersect (I.make 0. 1.) (I.make 2. 3.) = None);
+  (match I.intersect a b with
+  | Some iv ->
+    checkf "intersect lo" 1. (I.lo iv);
+    checkf "intersect hi" 2. (I.hi iv)
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.check_raises "div by zero-containing" Division_by_zero (fun () ->
+      ignore (I.div a b))
+
+let interval_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> I.make (Float.min a b) (Float.max a b))
+      (float_range (-100.) 100.)
+      (float_range (-100.) 100.))
+
+let arb_interval = QCheck.make interval_gen
+
+let prop_interval_mul_sound =
+  QCheck.Test.make ~name:"interval mul contains pointwise products"
+    ~count:200
+    (QCheck.triple arb_interval arb_interval (QCheck.float_range 0. 1.))
+    (fun (a, b, t) ->
+      let x = F.lerp (I.lo a) (I.hi a) t in
+      let y = F.lerp (I.lo b) (I.hi b) (1. -. t) in
+      I.contains (I.mul a b) (x *. y))
+
+let prop_interval_hull =
+  QCheck.Test.make ~name:"hull contains both intervals" ~count:200
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      let h = I.hull a b in
+      I.contains h (I.lo a) && I.contains h (I.hi b))
+
+(* ---------- Matrix ---------- *)
+
+let test_matrix_solve () =
+  let a = Rmat.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Rmat.solve a [| 5.; 10. |] in
+  check_close "x0" 1. x.(0);
+  check_close "x1" 3. x.(1)
+
+let test_matrix_identity () =
+  let i = Rmat.identity 4 in
+  let b = [| 1.; 2.; 3.; 4. |] in
+  let x = Rmat.solve i b in
+  Array.iteri (fun k v -> check_close "identity solve" b.(k) v) x
+
+let test_matrix_singular () =
+  let a = Rmat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Ape_util.Matrix.Singular (fun () ->
+      ignore (Rmat.solve a [| 1.; 1. |]))
+
+let test_matrix_complex () =
+  let j = { Complex.re = 0.; im = 1. } in
+  let a =
+    Cmat.of_arrays
+      [| [| Complex.one; j |]; [| Complex.neg j; Complex.one |] |]
+  in
+  (* Well-conditioned Hermitian-ish system. *)
+  let a2 = Cmat.copy a in
+  Cmat.set a2 0 0 { Complex.re = 3.; im = 0. };
+  let b = [| Complex.one; Complex.zero |] in
+  let x = Cmat.solve a2 b in
+  let res = Cmat.residual_norm a2 x b in
+  Alcotest.(check bool) "complex residual tiny" true (res < 1e-12)
+
+let prop_lu_random =
+  QCheck.Test.make ~name:"LU solves random diagonally-dominant systems"
+    ~count:100
+    QCheck.(list_of_size (QCheck.Gen.return 9) (float_range (-1.) 1.))
+    (fun coeffs ->
+      let n = 3 in
+      let m = Rmat.create n n in
+      List.iteri (fun k v -> Rmat.set m (k / n) (k mod n) v) coeffs;
+      for i = 0 to n - 1 do
+        Rmat.add_to m i i 5.
+      done;
+      let b = Array.init n (fun i -> float_of_int (i + 1)) in
+      let x = Rmat.solve m b in
+      Rmat.residual_norm m x b < 1e-9)
+
+let test_mat_mul () =
+  let a = Rmat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Rmat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Rmat.mat_mul a b in
+  checkf "c00" 19. (Rmat.get c 0 0);
+  checkf "c11" 50. (Rmat.get c 1 1);
+  let v = Rmat.mat_vec a [| 1.; 1. |] in
+  checkf "matvec" 3. v.(0)
+
+(* ---------- Poly ---------- *)
+
+let test_poly_eval () =
+  let p = Poly.of_coeffs [| 1.; 2.; 3. |] in
+  checkf "eval at 2" 17. (Poly.eval p 2.);
+  Alcotest.(check int) "degree" 2 (Poly.degree p);
+  let d = Poly.derivative p in
+  checkf "derivative at 1" 8. (Poly.eval d 1.)
+
+let test_poly_roots () =
+  let p = Poly.of_real_roots [ 1.; 2.; 3. ] in
+  let roots = Poly.real_roots p in
+  Alcotest.(check int) "three real roots" 3 (List.length roots);
+  List.iter2
+    (fun expected actual -> check_close "root" expected actual ~tol:1e-5)
+    [ 1.; 2.; 3. ] roots
+
+let test_poly_complex_roots () =
+  (* x^2 + 1 = 0 -> +/- i *)
+  let p = Poly.of_coeffs [| 1.; 0.; 1. |] in
+  let roots = Poly.roots p in
+  Alcotest.(check int) "two roots" 2 (List.length roots);
+  List.iter
+    (fun (z : Complex.t) ->
+      check_close "re" 0. z.re ~tol:1e-6;
+      check_close "|im|" 1. (Float.abs z.im) ~tol:1e-6)
+    roots
+
+let test_butterworth () =
+  let poles = Poly.butterworth_poles 4 in
+  Alcotest.(check int) "four poles" 4 (List.length poles);
+  List.iter
+    (fun (p : Complex.t) ->
+      check_close "unit magnitude" 1. (Complex.norm p) ~tol:1e-9;
+      Alcotest.(check bool) "left half plane" true (p.re < 0.))
+    poles
+
+let prop_poly_mul_eval =
+  QCheck.Test.make ~name:"eval(p*q) = eval p * eval q" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 4) (float_range (-3.) 3.))
+        (list_of_size (Gen.int_range 1 4) (float_range (-3.) 3.))
+        (float_range (-2.) 2.))
+    (fun (ca, cb, x) ->
+      let pa = Poly.of_coeffs (Array.of_list ca) in
+      let pb = Poly.of_coeffs (Array.of_list cb) in
+      F.approx_equal ~rtol:1e-9 ~atol:1e-9
+        (Poly.eval (Poly.mul pa pb) x)
+        (Poly.eval pa x *. Poly.eval pb x))
+
+(* ---------- Rootfind ---------- *)
+
+let test_bisect () =
+  let root = Root.bisect (fun x -> (x *. x) -. 2.) 0. 2. in
+  check_close "sqrt 2" (Float.sqrt 2.) root ~tol:1e-9
+
+let test_brent () =
+  let root = Root.brent (fun x -> Float.cos x -. x) 0. 1. in
+  check_close "dottie number" 0.7390851332151607 root ~tol:1e-9
+
+let test_newton () =
+  let root =
+    Root.newton ~f:(fun x -> (x *. x) -. 2.) ~df:(fun x -> 2. *. x) 1.
+  in
+  check_close "sqrt 2 newton" (Float.sqrt 2.) root ~tol:1e-9
+
+let test_no_bracket () =
+  Alcotest.check_raises "no bracket" Root.No_bracket (fun () ->
+      ignore (Root.brent (fun x -> (x *. x) +. 1.) (-1.) 1.))
+
+let test_expand_bracket () =
+  let lo, hi = Root.expand_bracket (fun x -> x -. 100.) 0. 1. in
+  Alcotest.(check bool) "bracket found" true (lo <= 100. && hi >= 100.)
+
+let test_solve_increasing () =
+  let x = Root.solve_increasing (fun x -> x *. x *. x) ~target:8. 0.1 1. in
+  check_close "cube root" 2. x ~tol:1e-6
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 10 do
+    checkf "same stream" (Rng.uniform a 0. 1.) (Rng.uniform b 0. 1.)
+  done
+
+let test_rng_ranges () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let u = Rng.uniform rng 2. 5. in
+    Alcotest.(check bool) "uniform in range" true (u >= 2. && u < 5.);
+    let l = Rng.log_uniform rng 1e-6 1e-3 in
+    Alcotest.(check bool) "log uniform in range" true
+      (l >= 1e-6 && l <= 1e-3)
+  done
+
+let test_rng_gauss_moments () =
+  let rng = Rng.create 11 in
+  let n = 5000 in
+  let samples = List.init n (fun _ -> Rng.gauss rng ~mean:2. ~sigma:0.5) in
+  let mean = F.mean samples in
+  Alcotest.(check bool) "gauss mean near 2" true (Float.abs (mean -. 2.) < 0.05)
+
+(* ---------- Strings / Table ---------- *)
+
+let test_strings () =
+  Alcotest.(check string) "replace all" "a-b-c"
+    (Strings.replace_all ~pattern:"_" ~with_:"-" "a_b_c");
+  Alcotest.(check string) "fixpoint" "K=V"
+    (Strings.replace_fixpoint ~pattern:" =" ~with_:"=" "K   =V");
+  Alcotest.(check (list string)) "split words" [ "a"; "b"; "c" ]
+    (Strings.split_words "  a b\tc ");
+  Alcotest.(check bool) "prefix ci" true
+    (Strings.starts_with_ci ~prefix:".model" ".MODEL FOO")
+
+let test_table () =
+  let out =
+    Table.render ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333" ] ]
+  in
+  Alcotest.(check bool) "has rule" true (String.length out > 0);
+  (* Rows padded to header width must not raise; check cell formats. *)
+  Alcotest.(check string) "pct" "13.8%" (Table.cell_pct 0.138);
+  Alcotest.(check string) "fixed" "206.20" (Table.cell_fixed 206.2)
+
+let test_eng_edge_cases () =
+  Alcotest.(check string) "nan" "nan" (U.to_eng Float.nan);
+  Alcotest.(check string) "inf" "inf" (U.to_eng Float.infinity);
+  Alcotest.(check string) "-inf" "-inf" (U.to_eng Float.neg_infinity);
+  (* Beyond the prefix ladder: clamps to the extreme prefixes. *)
+  Alcotest.(check bool) "tiny uses atto" true
+    (String.length (U.to_eng 1e-20) > 0);
+  Alcotest.(check string) "digits control" "1.235k" (U.to_eng ~digits:4 1234.56)
+
+let test_linspace_errors () =
+  Alcotest.check_raises "linspace n<2"
+    (Invalid_argument "Float_ext.linspace: n < 2") (fun () ->
+      ignore (F.linspace 0. 1. 1));
+  Alcotest.check_raises "logspace non-positive"
+    (Invalid_argument "Float_ext.logspace: bounds <= 0") (fun () ->
+      ignore (F.logspace 0. 1. 3))
+
+let prop_interval_sample_inside =
+  QCheck.Test.make ~name:"interval samples stay inside" ~count:200
+    arb_interval (fun iv ->
+      let rng = Rng.create 5 in
+      I.contains iv (I.sample (Rng.state rng) iv))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:100
+    QCheck.(list_of_size (Gen.return 6) (float_range (-5.) 5.))
+    (fun coeffs ->
+      let m = Rmat.create 2 3 in
+      List.iteri (fun k v -> Rmat.set m (k / 3) (k mod 3) v) coeffs;
+      Rmat.to_arrays (Rmat.transpose (Rmat.transpose m)) = Rmat.to_arrays m)
+
+let prop_poly_of_roots_vanishes =
+  QCheck.Test.make ~name:"poly of roots vanishes at each root" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 4) (float_range (-3.) 3.))
+    (fun roots ->
+      let p = Poly.of_real_roots roots in
+      List.for_all (fun r -> Float.abs (Poly.eval p r) < 1e-9) roots)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ape_util"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "eng format" `Quick test_eng_format;
+          Alcotest.test_case "eng edge cases" `Quick test_eng_edge_cases;
+          Alcotest.test_case "constants" `Quick test_constants;
+        ] );
+      ( "float_ext",
+        [
+          Alcotest.test_case "helpers" `Quick test_float_helpers;
+          Alcotest.test_case "errors" `Quick test_float_errors;
+          Alcotest.test_case "range errors" `Quick test_linspace_errors;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basic;
+          Alcotest.test_case "operations" `Quick test_interval_ops;
+        ] );
+      qsuite "interval-properties"
+        [ prop_interval_mul_sound; prop_interval_hull;
+          prop_interval_sample_inside ];
+      ( "matrix",
+        [
+          Alcotest.test_case "solve 2x2" `Quick test_matrix_solve;
+          Alcotest.test_case "identity" `Quick test_matrix_identity;
+          Alcotest.test_case "singular" `Quick test_matrix_singular;
+          Alcotest.test_case "complex" `Quick test_matrix_complex;
+          Alcotest.test_case "mat mul" `Quick test_mat_mul;
+        ] );
+      qsuite "matrix-properties" [ prop_lu_random; prop_transpose_involution ];
+      ( "poly",
+        [
+          Alcotest.test_case "eval/derivative" `Quick test_poly_eval;
+          Alcotest.test_case "real roots" `Quick test_poly_roots;
+          Alcotest.test_case "complex roots" `Quick test_poly_complex_roots;
+          Alcotest.test_case "butterworth" `Quick test_butterworth;
+        ] );
+      qsuite "poly-properties" [ prop_poly_mul_eval; prop_poly_of_roots_vanishes ];
+      ( "rootfind",
+        [
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "brent" `Quick test_brent;
+          Alcotest.test_case "newton" `Quick test_newton;
+          Alcotest.test_case "no bracket" `Quick test_no_bracket;
+          Alcotest.test_case "expand bracket" `Quick test_expand_bracket;
+          Alcotest.test_case "solve increasing" `Quick test_solve_increasing;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "gauss moments" `Quick test_rng_gauss_moments;
+        ] );
+      ( "strings-table",
+        [
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "table" `Quick test_table;
+        ] );
+    ]
