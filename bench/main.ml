@@ -689,6 +689,62 @@ let run_ablation () =
     (Table.render ~header:[ "corner"; "gain"; "UGF"; "power" ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Monte Carlo throughput: samples/sec at 1, 2 and 4 domains.          *)
+(* ------------------------------------------------------------------ *)
+
+let run_mc () =
+  let module Mc = Ape_mc in
+  heading "Monte Carlo throughput (opamp estimate workload, lib/mc)";
+  pf "host reports %d recommended domain(s)\n\n" (Mc.Pool.recommended_jobs ());
+  let spec = E.Opamp.spec ~av:200. ~ugf:2e6 ~ibias:1e-6 ~cl:10e-12 () in
+  let samples = if fast_mode then 500 else 2_000 in
+  let measure, checks = Mc.Scenario.opamp ~level:Mc.Scenario.Estimate proc spec in
+  let reports =
+    List.map
+      (fun jobs ->
+        (* Warm domain spawn/JIT effects out of the first timing. *)
+        let cfg = { Mc.Run.samples; jobs; seed = 1999 } in
+        ignore (Mc.Run.run ~checks { cfg with Mc.Run.samples = 100 } ~measure);
+        (jobs, Mc.Run.run ~checks cfg ~measure))
+      [ 1; 2; 4 ]
+  in
+  let base_seconds =
+    match reports with (_, r) :: _ -> r.Mc.Run.seconds | [] -> 0.
+  in
+  print_string
+    (Table.render
+       ~header:[ "jobs"; "samples"; "seconds"; "samples/s"; "speedup"; "yield" ]
+       (List.map
+          (fun (jobs, (r : Mc.Run.report)) ->
+            [
+              string_of_int jobs;
+              string_of_int samples;
+              Printf.sprintf "%.3f" r.Mc.Run.seconds;
+              eng (float_of_int samples /. Float.max 1e-9 r.Mc.Run.seconds);
+              Printf.sprintf "%.2fx" (base_seconds /. Float.max 1e-9 r.Mc.Run.seconds);
+              Printf.sprintf "%.1f %%" (100. *. r.Mc.Run.yield);
+            ])
+          reports));
+  (* Determinism spot check: every jobs value must produce bit-identical
+     statistics (the test suite enforces this on small runs too). *)
+  let gain_means =
+    List.map
+      (fun (_, r) ->
+        match Mc.Run.metric r "gain" with
+        | Some m -> Int64.bits_of_float (Mc.Stats.mean m.Mc.Run.m_stats)
+        | None -> 0L)
+      reports
+  in
+  (match gain_means with
+  | first :: rest ->
+    pf "gain mean bit-identical across jobs: %b\n"
+      (List.for_all (Int64.equal first) rest)
+  | [] -> ());
+  match reports with
+  | (_, r) :: _ -> print_string (Mc.Report.metric_table r)
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -781,6 +837,7 @@ let all () =
   run_table4 ();
   run_table5 ();
   run_ablation ();
+  run_mc ();
   run_micro ()
 
 let () =
@@ -793,11 +850,12 @@ let () =
   | "hierarchy" -> run_hierarchy ()
   | "timing" -> run_ape_timing ()
   | "ablation" -> run_ablation ()
+  | "mc" -> run_mc ()
   | "micro" -> run_micro ()
   | "all" -> all ()
   | other ->
     pf
       "unknown experiment %s (table1..table5, hierarchy, timing, ablation, \
-       micro, all)\n"
+       mc, micro, all)\n"
       other;
     exit 1

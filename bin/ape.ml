@@ -4,6 +4,9 @@
                 [--verify] [--netlist]
      ape module (lpf|bpf|sh|adc|dac|amp|comparator) [options] [--verify]
      ape synth --gain 200 --ugf 2meg [--mode standalone|ape] [--seed N]
+                [--mc-samples 200 --jobs 4]
+     ape mc opamp --gain 200 --ugf 2meg --samples 500 --jobs 4
+                [--level estimate|simulate] [--sigma-scale 1.5] [--hist gain]
      ape sim FILE.sp [--out NODE] [--ac]
      ape vase FILE.scm
 
@@ -11,6 +14,7 @@
 
 module E = Ape_estimator
 module S = Ape_synth
+module Mc = Ape_mc
 let proc = Ape_process.Process.c12
 let pf = Printf.printf
 let eng = Ape_util.Units.to_eng
@@ -191,7 +195,20 @@ let synth_cmd =
       & info [ "area" ]
           ~doc:"Gate-area budget (m^2); default 1.3x the APE estimate.")
   in
-  let run gain ugf ibias cl buffer zout wilson cascode mode seed area =
+  let mc_samples_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "mc-samples" ]
+          ~doc:
+            "Monte Carlo yield check on the synthesised design (0 = off).")
+  in
+  let mc_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~doc:"Worker domains for the yield check.")
+  in
+  let run gain ugf ibias cl buffer zout wilson cascode mode seed area
+      mc_samples mc_jobs =
     let buffer, bias, zout = topology buffer wilson cascode zout in
     let proto =
       {
@@ -219,7 +236,11 @@ let synth_cmd =
       | `Ape -> S.Opamp_problem.Ape_centered 0.2
     in
     let rng = Ape_util.Rng.create seed in
-    let r = S.Driver.run ~rng proc ~mode row in
+    let mc =
+      if mc_samples <= 0 then None
+      else Some { Mc.Run.samples = mc_samples; jobs = mc_jobs; seed }
+    in
+    let r = S.Driver.run ?mc ~rng proc ~mode row in
     pf "%s\n" r.S.Driver.comment;
     pf "gain=%s ugf=%s area=%.0f um^2 power=%s (%d evaluations, %.2f s)\n"
       (match r.S.Driver.gain with Some g -> Printf.sprintf "%.1f" g | None -> "-")
@@ -228,13 +249,103 @@ let synth_cmd =
       (eng r.S.Driver.power)
       r.S.Driver.stats.S.Anneal.evaluations r.S.Driver.stats.S.Anneal.seconds;
     List.iter (fun (k, v) -> pf "  %-12s %s\n" k (eng v)) r.S.Driver.best_values;
+    (match r.S.Driver.yield with
+    | None -> ()
+    | Some report ->
+      pf "\npost-synthesis yield check:\n";
+      print_string (Mc.Report.to_string report));
     if r.S.Driver.meets_spec then 0 else 2
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesise an opamp by simulated annealing.")
     Term.(
       const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
-      $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg)
+      $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg
+      $ mc_samples_arg $ mc_jobs_arg)
+
+(* ---------- ape mc ---------- *)
+
+let mc_cmd =
+  let kind_arg =
+    let doc = "Workload: opamp (more kinds as the library grows)." in
+    Arg.(value & pos 0 string "opamp" & info [] ~docv:"KIND" ~doc)
+  in
+  let samples_arg =
+    Arg.(value & opt int 500 & info [ "samples" ] ~doc:"Monte Carlo samples.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ]
+          ~doc:
+            "Worker domains (statistics are identical for every value; 0 \
+             means the hardware-recommended count).")
+  in
+  let seed_arg = Arg.(value & opt int 1999 & info [ "seed" ] ~doc:"RNG seed.") in
+  let level_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("estimate", Mc.Scenario.Estimate);
+               ("simulate", Mc.Scenario.Simulate) ])
+          Mc.Scenario.Estimate
+      & info [ "level" ]
+          ~doc:
+            "estimate re-sizes with APE per die (fast); simulate re-measures \
+             one nominal design per die with the SPICE substitute.")
+  in
+  let sigma_scale_arg =
+    Arg.(
+      value & opt number_conv 1.0
+      & info [ "sigma-scale" ]
+          ~doc:"Scale every variation sigma by this factor.")
+  in
+  let hist_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "hist" ] ~docv:"METRIC"
+          ~doc:"Print an ASCII histogram of this metric (repeatable).")
+  in
+  let run kind gain ugf ibias cl buffer zout wilson cascode samples jobs seed
+      level sigma_scale hists =
+    if kind <> "opamp" then begin
+      pf "unknown mc workload %s (only: opamp)\n" kind;
+      exit 1
+    end;
+    if samples <= 0 then begin
+      pf "--samples must be >= 1 (got %d)\n" samples;
+      exit 1
+    end;
+    let jobs = if jobs = 0 then Mc.Pool.recommended_jobs () else jobs in
+    let buffer, bias, zout = topology buffer wilson cascode zout in
+    let spec =
+      E.Opamp.spec ~buffer ?zout ~bias_topology:bias ~cl ~av:gain ~ugf ~ibias
+        ()
+    in
+    let sigmas = Mc.Variation.scale sigma_scale Mc.Variation.default in
+    let measure, checks =
+      try Mc.Scenario.opamp ~sigmas ~level proc spec
+      with E.Opamp.Infeasible msg ->
+        pf "infeasible nominal design: %s\n" msg;
+        exit 1
+    in
+    pf "workload: opamp (%s level), sigma scale %g\n"
+      (Mc.Scenario.level_name level)
+      sigma_scale;
+    let report =
+      Mc.Run.run ~checks { Mc.Run.samples; jobs; seed } ~measure
+    in
+    print_string (Mc.Report.to_string ~histograms:hists report);
+    if report.Mc.Run.yield >= 1.0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Monte Carlo process-variation and yield analysis.")
+    Term.(
+      const run $ kind_arg $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg
+      $ buffer_arg $ zout_arg $ wilson_arg $ cascode_arg $ samples_arg
+      $ jobs_arg $ seed_arg $ level_arg $ sigma_scale_arg $ hist_arg)
 
 (* ---------- ape sim ---------- *)
 
@@ -316,4 +427,7 @@ let vase_cmd =
 let () =
   let doc = "Analog Performance Estimator (DATE 1999 reproduction)" in
   let info = Cmd.info "ape" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ opamp_cmd; module_cmd; synth_cmd; sim_cmd; vase_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; vase_cmd ]))

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification, mechanically: what every PR must keep green.
+# Usage: ./ci.sh
+set -eu
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== ape mc determinism (jobs 1 vs jobs 4) =="
+dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 1 \
+  | grep -v '^Monte Carlo:' > /tmp/ape_mc_jobs1.txt
+dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 4 \
+  | grep -v '^Monte Carlo:' > /tmp/ape_mc_jobs4.txt
+diff /tmp/ape_mc_jobs1.txt /tmp/ape_mc_jobs4.txt
+rm -f /tmp/ape_mc_jobs1.txt /tmp/ape_mc_jobs4.txt
+
+echo "CI OK"

@@ -1,0 +1,74 @@
+module Rng = Ape_util.Rng
+module Card = Ape_process.Model_card
+module Process = Ape_process.Process
+
+type sigmas = {
+  s_kp : float;
+  s_vto : float;
+  s_tox : float;
+  s_gamma : float;
+  s_lambda : float;
+  s_rsh : float;
+  s_cap : float;
+}
+
+(* 3σ of every parameter sits inside the deterministic Slow/Fast corner
+   (KP ±15 %, VTO ±0.1 V — Process.corner), which the corner-bracketing
+   test in test/test_mc.ml relies on. *)
+let default =
+  {
+    s_kp = 0.04;
+    s_vto = 0.02;
+    s_tox = 0.015;
+    s_gamma = 0.03;
+    s_lambda = 0.05;
+    s_rsh = 0.08;
+    s_cap = 0.05;
+  }
+
+let scale k s =
+  if k < 0. then invalid_arg "Variation.scale: negative";
+  {
+    s_kp = k *. s.s_kp;
+    s_vto = k *. s.s_vto;
+    s_tox = k *. s.s_tox;
+    s_gamma = k *. s.s_gamma;
+    s_lambda = k *. s.s_lambda;
+    s_rsh = k *. s.s_rsh;
+    s_cap = k *. s.s_cap;
+  }
+
+(* Multiplicative factors are (1 + σ·z) clamped away from zero; with the
+   default σ ≤ 8 % the clamp is ~6σ out and statistically invisible, but
+   it keeps a user-scaled distribution from producing nonphysical
+   negative KP/tox. *)
+let factor rng sigma =
+  Float.max 0.05 (1. +. Rng.gauss rng ~mean:0. ~sigma)
+
+let sample_card rng ~tox_factor s : Card.perturbation =
+  let kp_factor = factor rng s.s_kp in
+  let vto_shift = Rng.gauss rng ~mean:0. ~sigma:s.s_vto in
+  let gamma_factor = factor rng s.s_gamma in
+  let lambda_factor = factor rng s.s_lambda in
+  { kp_factor; vto_shift; tox_factor; gamma_factor; lambda_factor }
+
+let sample rng s : Process.perturbation =
+  (* One gate-oxide run serves both polarities, so the tox factor is
+     shared; KP/VTO/γ/λ extraction varies per polarity.  The draw order
+     below is part of the deterministic contract: reordering changes
+     every downstream statistic. *)
+  let tox_factor = factor rng s.s_tox in
+  let nmos = sample_card rng ~tox_factor s in
+  let pmos = sample_card rng ~tox_factor s in
+  let rsh_factor = factor rng s.s_rsh in
+  let cap_factor = factor rng s.s_cap in
+  { Process.nmos; pmos; rsh_factor; cap_factor }
+
+let perturb rng s process = Process.perturb (sample rng s) process
+
+let sigma_delta_vto (card : Card.t) ~w ~l =
+  if w <= 0. || l <= 0. then invalid_arg "Variation.sigma_delta_vto: W,L <= 0";
+  card.Card.avt /. Float.sqrt (w *. l)
+
+let mismatch_vto rng (card : Card.t) ~w ~l =
+  Rng.gauss rng ~mean:0. ~sigma:(sigma_delta_vto card ~w ~l)

@@ -96,6 +96,41 @@ let default_pmos =
 
 let with_level level card = { card with level }
 
+type perturbation = {
+  kp_factor : float;
+  vto_shift : float;
+  tox_factor : float;
+  gamma_factor : float;
+  lambda_factor : float;
+}
+
+let no_perturbation =
+  {
+    kp_factor = 1.;
+    vto_shift = 0.;
+    tox_factor = 1.;
+    gamma_factor = 1.;
+    lambda_factor = 1.;
+  }
+
+(* KP, tox and u0 are kept mutually consistent (KP = u0 * Cox, Cox =
+   eps_ox / tox): the sampled KP factor is the net current-factor
+   variation, tox moves the capacitances, and u0 absorbs the difference
+   so the level-1 equations and the simulation view agree on KP. *)
+let perturb p card =
+  let sign = polarity card in
+  let tox = card.tox *. p.tox_factor in
+  let kp = card.kp *. p.kp_factor in
+  {
+    card with
+    kp;
+    tox;
+    u0 = kp /. (Ape_util.Units.eps_ox /. tox);
+    vto = card.vto +. (sign *. p.vto_shift);
+    gamma = card.gamma *. p.gamma_factor;
+    lambda = card.lambda *. p.lambda_factor;
+  }
+
 let level_to_int = function
   | Level1 -> 1
   | Level2 -> 2

@@ -69,6 +69,29 @@ val with_level : level -> t -> t
 (** Same card re-tagged at another model level (the refinement
     parameters are already present). *)
 
+(** {1 Process variation} *)
+
+type perturbation = {
+  kp_factor : float;  (** multiplies KP (and u0, keeping KP = u0·Cox) *)
+  vto_shift : float;
+      (** threshold-magnitude shift, V: added with the device polarity so
+          a positive shift always {e slows} the device *)
+  tox_factor : float;  (** multiplies tox (and scales u0 to keep KP) *)
+  gamma_factor : float;
+  lambda_factor : float;
+}
+(** One sampled inter-die deviation of a card, in the same parameter
+    basis as {!Process.corner} — a corner is just a deterministic
+    perturbation.  Constructed by [Mc.Variation] from a {!Ape_util.Rng}
+    stream; kept Rng-free here so the process layer stays deterministic. *)
+
+val no_perturbation : perturbation
+(** The identity (all factors 1, shift 0). *)
+
+val perturb : perturbation -> t -> t
+(** Apply a sampled deviation, keeping KP, u0 and tox mutually
+    consistent (KP = u0·eps_ox/tox). *)
+
 val to_spice : t -> string
 (** Render as a SPICE [.MODEL] line. *)
 

@@ -1,3 +1,12 @@
+(* Declared before [t] so the [nmos]/[pmos] field labels of [t] take
+   precedence for record access throughout the codebase. *)
+type perturbation = {
+  nmos : Model_card.perturbation;
+  pmos : Model_card.perturbation;
+  rsh_factor : float;
+  cap_factor : float;
+}
+
 type t = {
   name : string;
   lmin : float;
@@ -94,6 +103,23 @@ let corner c t =
       }
     in
     { t with nmos = shift t.nmos; pmos = shift t.pmos }
+
+let no_perturbation =
+  {
+    nmos = Model_card.no_perturbation;
+    pmos = Model_card.no_perturbation;
+    rsh_factor = 1.;
+    cap_factor = 1.;
+  }
+
+let perturb (p : perturbation) t =
+  {
+    t with
+    nmos = Model_card.perturb p.nmos t.nmos;
+    pmos = Model_card.perturb p.pmos t.pmos;
+    rsh_poly = t.rsh_poly *. p.rsh_factor;
+    cap_density = t.cap_density *. p.cap_factor;
+  }
 
 (* Serpentine of 2 µm-wide poly: squares = R / Rsh, each square 2x2 µm,
    plus 30 % routing overhead. *)

@@ -2,6 +2,17 @@
     process-wide constants (supplies, minimum geometry, passive
     densities) the estimator and simulator share. *)
 
+type perturbation = {
+  nmos : Model_card.perturbation;
+  pmos : Model_card.perturbation;
+  rsh_factor : float;  (** multiplies the poly sheet resistance *)
+  cap_factor : float;  (** multiplies the capacitor density *)
+}
+(** One sampled inter-die deviation of the whole process (declared
+    before {!t} so [t]'s [nmos]/[pmos] labels take precedence).
+    [Mc.Variation] samples these (shared oxide factor, per-polarity
+    KP/VTO/λ); the deterministic {!corner}s are special cases. *)
+
 type t = {
   name : string;
   lmin : float;  (** minimum drawn channel length, m *)
@@ -37,6 +48,13 @@ val corner : corner -> t -> t
     experiments. *)
 
 val corner_name : corner -> string
+
+(** {1 Process variation} *)
+
+val no_perturbation : perturbation
+
+val perturb : perturbation -> t -> t
+(** Apply a sampled deviation to both cards and the passive densities. *)
 
 val resistor_area : t -> float -> float
 (** Estimated layout area of a poly resistor of the given value, m²

@@ -13,6 +13,7 @@ type result = {
   best_values : (string * float) list;
   best_netlist : Ape_circuit.Netlist.t;
   comment : string;
+  yield : Ape_mc.Run.report option;
 }
 
 let comment_of (row : Opamp_problem.row) measurement =
@@ -54,7 +55,32 @@ let comment_of (row : Opamp_problem.row) measurement =
       end
     end
 
-let run ?(schedule = Anneal.default_schedule) ~rng process ~mode row =
+(* Post-synthesis yield: re-measure the best candidate's netlist on
+   perturbed dies.  The sizing is frozen — only the model cards move —
+   so this answers "how much of the spec margin did the annealer leave
+   against process variation". *)
+let yield_check ?(sigmas = Ape_mc.Variation.default) process
+    (row : Opamp_problem.row) netlist config =
+  let checks =
+    [
+      Ape_mc.Run.at_least "gain" row.Opamp_problem.gain;
+      Ape_mc.Run.at_least "ugf" row.Opamp_problem.ugf;
+    ]
+  in
+  let measure rng _i =
+    let proc = Ape_mc.Variation.perturb rng sigmas process in
+    let nl = Ape_circuit.Netlist.retarget_process proc netlist in
+    match Opamp_problem.measure_netlist proc row nl with
+    | None -> failwith "DC non-convergence"
+    | Some m ->
+      List.filter_map
+        (fun k -> Option.map (fun v -> (k, v)) (Cost.find m k))
+        [ "gain"; "ugf"; "power"; "area" ]
+  in
+  Ape_mc.Run.run ~checks config ~measure
+
+let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ~rng process
+    ~mode row =
   let design =
     match mode with
     | Opamp_problem.Wide -> Opamp_problem.strawman_design process row
@@ -75,6 +101,12 @@ let run ?(schedule = Anneal.default_schedule) ~rng process ~mode row =
   in
   let meets_spec = String.equal comment "Meets spec" in
   let works = comment <> "doesn't work." in
+  let yield =
+    match mc with
+    | None -> None
+    | Some config ->
+      Some (yield_check ?sigmas:mc_sigmas process row best_netlist config)
+  in
   {
     row;
     mode;
@@ -88,4 +120,5 @@ let run ?(schedule = Anneal.default_schedule) ~rng process ~mode row =
     best_values = problem.Opamp_problem.values best;
     best_netlist;
     comment;
+    yield;
   }

@@ -14,10 +14,14 @@ type result = {
   best_values : (string * float) list;  (** named unknown values *)
   best_netlist : Ape_circuit.Netlist.t;
   comment : string;  (** the paper's "Comments" column *)
+  yield : Ape_mc.Run.report option;
+      (** Monte Carlo yield of the best candidate, when requested *)
 }
 
 val run :
   ?schedule:Anneal.schedule ->
+  ?mc:Ape_mc.Run.config ->
+  ?mc_sigmas:Ape_mc.Variation.sigmas ->
   rng:Ape_util.Rng.t ->
   Ape_process.Process.t ->
   mode:Opamp_problem.mode ->
@@ -25,7 +29,20 @@ val run :
   result
 (** Build the APE design (topology; also the interval centres in
     [Ape_centered] mode), anneal, re-measure the best candidate and
-    classify the outcome. *)
+    classify the outcome.  With [?mc], additionally run a post-synthesis
+    Monte Carlo yield check on the best candidate: its sized netlist is
+    re-measured on [mc.samples] perturbed dies ([mc_sigmas] defaults to
+    {!Ape_mc.Variation.default}) against the row's gain/UGF spec. *)
+
+val yield_check :
+  ?sigmas:Ape_mc.Variation.sigmas ->
+  Ape_process.Process.t ->
+  Opamp_problem.row ->
+  Ape_circuit.Netlist.t ->
+  Ape_mc.Run.config ->
+  Ape_mc.Run.report
+(** The standalone form of the [?mc] check, for re-running on a stored
+    netlist. *)
 
 val comment_of : Opamp_problem.row -> Cost.measurement option -> string
 (** "Meets spec", "Gain << Spec", "UGF < spec", "Area >> Spec" or

@@ -1,7 +1,21 @@
 type t = Random.State.t
 
 let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66 |]
-let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+(* Children are seeded from several parent draws: two 30-bit words give
+   only ~2^60 distinct child streams and leave sibling seeds sharing
+   most of the parent's state trajectory; six words keep siblings
+   statistically independent (test/test_util.ml checks correlation). *)
+let split_words = 6
+
+let split t =
+  Random.State.make (Array.init split_words (fun _ -> Random.State.bits t))
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative";
+  let base = Array.init split_words (fun _ -> Random.State.bits t) in
+  Array.init n (fun i ->
+      Random.State.make (Array.append base [| i; i lxor 0x2545f491 |]))
 
 let uniform t lo hi =
   if lo > hi then invalid_arg "Rng.uniform: lo > hi";

@@ -10,7 +10,16 @@ val create : int -> t
 
 val split : t -> t
 (** Independent child source (used to give each synthesis run its own
-    stream). *)
+    stream).  The child is seeded from six 30-bit parent draws, so
+    sibling streams do not share seed material. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent child sources keyed by index
+    from a {e single} batch of parent draws: element [i] depends only on
+    the parent state at call time and on [i], never on how many siblings
+    exist or in what order they are consumed.  This is the Monte Carlo
+    per-sample stream constructor — handing stream [i] to sample [i]
+    makes results independent of worker count and scheduling. *)
 
 val uniform : t -> float -> float -> float
 (** [uniform t lo hi] in [[lo, hi)]. *)

@@ -279,6 +279,65 @@ let test_rng_gauss_moments () =
   let mean = F.mean samples in
   Alcotest.(check bool) "gauss mean near 2" true (Float.abs (mean -. 2.) < 0.05)
 
+let correlation xs ys =
+  let n = Array.length xs in
+  let mx = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let my = Array.fold_left ( +. ) 0. ys /. float_of_int n in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  !sxy /. Float.sqrt (!sxx *. !syy)
+
+(* MC correctness leans on per-sample stream independence: sibling
+   streams from any seed must be uncorrelated.  1000 paired uniforms
+   have correlation std ~1/sqrt(1000) ~ 0.032, so |r| < 0.15 is a ~5
+   sigma acceptance band — tight enough to catch seed-sharing bugs,
+   loose enough to never flake. *)
+let prop_rng_split_independent =
+  QCheck.Test.make ~name:"split siblings uncorrelated" ~count:30
+    QCheck.small_nat (fun seed ->
+      let parent = Rng.create seed in
+      let a = Rng.split parent and b = Rng.split parent in
+      let n = 1000 in
+      let xs = Array.init n (fun _ -> Rng.uniform a 0. 1.) in
+      let ys = Array.init n (fun _ -> Rng.uniform b 0. 1.) in
+      Float.abs (correlation xs ys) < 0.15)
+
+let prop_rng_split_n_independent =
+  QCheck.Test.make ~name:"split_n children pairwise uncorrelated" ~count:10
+    QCheck.small_nat (fun seed ->
+      let children = Rng.split_n (Rng.create seed) 4 in
+      let n = 1000 in
+      let draws =
+        Array.map (fun c -> Array.init n (fun _ -> Rng.uniform c 0. 1.)) children
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i xi ->
+          Array.iteri
+            (fun j xj ->
+              if i < j && Float.abs (correlation xi xj) >= 0.15 then
+                ok := false)
+            draws)
+        draws;
+      !ok)
+
+let test_rng_split_n_keyed () =
+  (* Child i must depend only on (parent state, i): consuming a prefix
+     of the array or asking for more children must not change it. *)
+  let child_draw ~of_n i =
+    let c = (Rng.split_n (Rng.create 42) of_n).(i) in
+    Rng.uniform c 0. 1.
+  in
+  checkf "child 0 stable" (child_draw ~of_n:1 0) (child_draw ~of_n:8 0);
+  checkf "child 2 stable" (child_draw ~of_n:3 2) (child_draw ~of_n:16 2);
+  Alcotest.(check bool) "children differ" true
+    (child_draw ~of_n:8 0 <> child_draw ~of_n:8 1)
+
 (* ---------- Strings / Table ---------- *)
 
 let test_strings () =
@@ -394,7 +453,11 @@ let () =
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "ranges" `Quick test_rng_ranges;
           Alcotest.test_case "gauss moments" `Quick test_rng_gauss_moments;
+          Alcotest.test_case "split_n keyed by index" `Quick
+            test_rng_split_n_keyed;
         ] );
+      qsuite "rng-properties"
+        [ prop_rng_split_independent; prop_rng_split_n_independent ];
       ( "strings-table",
         [
           Alcotest.test_case "strings" `Quick test_strings;
