@@ -8,6 +8,8 @@
      ape mc opamp --gain 200 --ugf 2meg --samples 500 --jobs 4
                 [--level estimate|simulate] [--sigma-scale 1.5] [--hist gain]
      ape sim FILE.sp [--out NODE] [--ac]
+     ape verify [--level device|basic|opamp|module]... [--golden DIR]
+                [--update] [--tsv] [--no-slew] [--no-golden]
      ape vase FILE.scm
 
    Numbers accept SPICE suffixes (2meg, 10u, 4.7k). *)
@@ -388,6 +390,76 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Solve a SPICE netlist (DC + AC measurements).")
     Term.(const run $ file_arg $ out_arg)
 
+(* ---------- ape verify ---------- *)
+
+let verify_cmd =
+  let module C = Ape_check in
+  let level_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:
+            "Hierarchy level to verify: device, basic, opamp, module \
+             (repeatable; default all).")
+  in
+  let golden_arg =
+    Arg.(
+      value & opt (some string) (Some "test/golden")
+      & info [ "golden" ] ~docv:"DIR"
+          ~doc:"Golden-table directory; --no-golden skips the comparison.")
+  in
+  let no_golden_arg =
+    Arg.(
+      value & flag
+      & info [ "no-golden" ] ~doc:"Tolerance gates only, no golden tables.")
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update" ]
+          ~doc:
+            "Promote the fresh values into the golden tables (equivalent to \
+             APE_UPDATE_GOLDEN=1).")
+  in
+  let tsv_arg =
+    Arg.(value & flag & info [ "tsv" ] ~doc:"Machine-readable TSV output.")
+  in
+  let no_slew_arg =
+    Arg.(
+      value & flag
+      & info [ "no-slew" ]
+          ~doc:"Skip the opamp transient slew measurement (faster).")
+  in
+  let run levels golden no_golden update tsv no_slew =
+    let levels =
+      match levels with
+      | [] -> C.Tolerance.all_levels
+      | names ->
+        List.map
+          (fun n ->
+            match C.Tolerance.level_of_name n with
+            | Some l -> l
+            | None ->
+              pf "unknown level %s (device, basic, opamp, module)\n" n;
+              exit 1)
+          names
+    in
+    let golden_dir = if no_golden then None else golden in
+    let outcome =
+      C.Check.run ~slew:(not no_slew) ?golden_dir ~update ~levels proc
+    in
+    print_string (C.Check.render ~tsv outcome);
+    if C.Check.ok outcome then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Differential verification: size with APE, simulate, gate every \
+          attribute against its tolerance and the golden tables.")
+    Term.(
+      const run $ level_arg $ golden_arg $ no_golden_arg $ update_arg
+      $ tsv_arg $ no_slew_arg)
+
 (* ---------- ape vase ---------- *)
 
 let vase_cmd =
@@ -430,4 +502,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; vase_cmd ]))
+          [
+            opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; verify_cmd;
+            vase_cmd;
+          ]))

@@ -1,0 +1,24 @@
+(** The differential-verification case catalog: one entry point per
+    level of the APE hierarchy, each sizing the level's reference
+    designs with the estimator, simulating them with {!Ape_spice}, and
+    returning per-attribute {!Diff.row}s under the level's
+    {!Tolerance} set.
+
+    The level-2/3/4 catalogs reproduce the circuits of the paper's
+    Tables 2, 3 and 5 (same specs as [bench/main.ml]); level 1 biases
+    individually sized transistors in a one-device testbench and
+    compares the closed-form gm/gds/I_DS against the simulation
+    model. *)
+
+val device_rows : Ape_process.Process.t -> Diff.row list
+
+val basic_rows : Ape_process.Process.t -> Diff.row list
+
+val opamp_rows : ?slew:bool -> Ape_process.Process.t -> Diff.row list
+(** [slew] (default true) also runs the unity-feedback transient step;
+    with [~slew:false] the slew gate is dropped entirely. *)
+
+val module_rows : Ape_process.Process.t -> Diff.row list
+
+val rows_for :
+  ?slew:bool -> Ape_process.Process.t -> Tolerance.level -> Diff.row list

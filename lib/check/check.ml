@@ -1,0 +1,85 @@
+type level_result = {
+  level : Tolerance.level;
+  rows : Diff.row list;
+  drifts : Golden.drift list;
+  promoted : bool;
+}
+
+type outcome = { results : level_result list }
+
+let failures t =
+  List.concat_map (fun r -> Diff.failures r.rows) t.results
+
+let drifts t = List.concat_map (fun r -> r.drifts) t.results
+
+let ok t = failures t = [] && drifts t = []
+
+let run_level ?slew ?golden_dir ~update process level =
+  let rows = Cases.rows_for ?slew process level in
+  match golden_dir with
+  | None -> { level; rows; drifts = []; promoted = false }
+  | Some dir ->
+    if update then begin
+      Golden.save ~dir level rows;
+      { level; rows; drifts = []; promoted = true }
+    end
+    else (
+      match Golden.load ~dir level with
+      | None ->
+        {
+          level;
+          rows;
+          drifts =
+            [
+              {
+                Golden.case = "*";
+                attr = "*";
+                what =
+                  Printf.sprintf
+                    "no golden table %s — run with --update to create it"
+                    (Golden.path ~dir level);
+              };
+            ];
+          promoted = false;
+        }
+      | Some golden ->
+        { level; rows; drifts = Golden.compare_rows ~golden rows; promoted = false })
+
+let run ?slew ?golden_dir ?(update = false) ?(levels = Tolerance.all_levels)
+    process =
+  let update = update || Golden.update_requested () in
+  { results = List.map (run_level ?slew ?golden_dir ~update process) levels }
+
+let render ?(tsv = false) t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      if tsv then Buffer.add_string b (Report.tsv r.rows)
+      else begin
+        Buffer.add_string b (Report.ascii ~level:r.level r.rows);
+        Buffer.add_char b '\n'
+      end;
+      if r.promoted then
+        Buffer.add_string b
+          (Printf.sprintf "golden table for level %s updated\n"
+             (Tolerance.level_name r.level));
+      List.iter
+        (fun (d : Golden.drift) ->
+          Buffer.add_string b
+            (Printf.sprintf "GOLDEN DRIFT [%s] %s/%s: %s\n"
+               (Tolerance.level_name r.level)
+               d.Golden.case d.Golden.attr d.Golden.what))
+        r.drifts)
+    t.results;
+  if not tsv then begin
+    let all_rows = List.concat_map (fun r -> r.rows) t.results in
+    Buffer.add_string b "\nPer-attribute relative error:\n";
+    Buffer.add_string b (Report.summary all_rows)
+  end;
+  let nfail = List.length (failures t) and ndrift = List.length (drifts t) in
+  Buffer.add_string b
+    (if nfail = 0 && ndrift = 0 then "\nVERIFY OK\n"
+     else
+       Printf.sprintf "\nVERIFY FAILED: %d tolerance failure(s), %d golden drift(s)\n"
+         nfail ndrift);
+  Buffer.contents b

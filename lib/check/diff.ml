@@ -1,0 +1,87 @@
+module Perf = Ape_estimator.Perf
+
+type status = Pass | Fail | Info | Skipped
+
+let status_name = function
+  | Pass -> "pass"
+  | Fail -> "FAIL"
+  | Info -> "info"
+  | Skipped -> "skip"
+
+type row = {
+  case : string;
+  attr : string;
+  est : float option;
+  sim : float option;
+  rel_err : float option;
+  gate : Tolerance.gate;
+  status : status;
+}
+
+let rel_err ~est ~sim =
+  if est = sim then 0.
+  else
+    let denom = Float.max (Float.abs sim) 1e-300 in
+    Float.abs (est -. sim) /. denom
+
+let usable = function
+  | Some v -> if Float.is_nan v then None else Some v
+  | None -> None
+
+let make ~case ~attr ~gate ~est ~sim =
+  let est = usable est and sim = usable sim in
+  let err =
+    match (est, sim) with
+    | Some e, Some s -> Some (rel_err ~est:e ~sim:s)
+    | _ -> None
+  in
+  let status =
+    match (gate, est, sim) with
+    | _, None, None -> Skipped
+    | Tolerance.Report_only, _, _ -> Info
+    | Tolerance.Rel _, None, Some _ ->
+      (* The estimator stopped producing an attribute the simulator can
+         measure: a regression in its own right. *)
+      Fail
+    | Tolerance.Rel _, Some _, None ->
+      (* The testbench has no measurement for this attribute; tabulate
+         the estimate.  A *disappearing* measurement is caught by the
+         golden tables (the sim column drifts to "-"). *)
+      Info
+    | Tolerance.Rel bound, Some _, Some _ -> (
+      match err with
+      | Some e when e <= bound -> Pass
+      | _ -> Fail)
+  in
+  { case; attr; est; sim; rel_err = err; gate; status }
+
+(* The shared attribute naming between {!Tolerance} sets, golden tables
+   and reports.  [dc_power] travels as "power". *)
+let perf_pairs (est : Perf.t) (sim : Perf.t) =
+  [
+    ("gate_area", Some est.gate_area, Some sim.gate_area);
+    ("total_area", Some est.total_area, Some sim.total_area);
+    ("power", Some est.dc_power, Some sim.dc_power);
+    ("gain", est.gain, sim.gain);
+    ("ugf", est.ugf, sim.ugf);
+    ("bandwidth", est.bandwidth, sim.bandwidth);
+    ("cmrr", est.cmrr, sim.cmrr);
+    ("slew_rate", est.slew_rate, sim.slew_rate);
+    ("zout", est.zout, sim.zout);
+    ("current", est.current, sim.current);
+    ("offset", est.offset, sim.offset);
+    ("phase_margin", est.phase_margin, sim.phase_margin);
+    ("noise", est.noise, sim.noise);
+  ]
+
+let rows_of_perf ~case ~tols est sim =
+  List.filter_map
+    (fun (attr, e, s) ->
+      match Tolerance.find tols attr with
+      | None -> None
+      | Some t ->
+        let r = make ~case ~attr ~gate:t.Tolerance.gate ~est:e ~sim:s in
+        if r.status = Skipped then None else Some r)
+    (perf_pairs est sim)
+
+let failures rows = List.filter (fun r -> r.status = Fail) rows

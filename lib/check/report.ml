@@ -1,0 +1,83 @@
+module Table = Ape_util.Table
+module Units = Ape_util.Units
+
+let opt_cell = function None -> "-" | Some v -> Units.to_eng v
+
+let gate_cell = function
+  | Tolerance.Rel b -> Printf.sprintf "<= %.0f%%" (100. *. b)
+  | Tolerance.Report_only -> "report"
+
+let err_cell = function
+  | None -> "-"
+  | Some e when e >= 10. -> Printf.sprintf "%.0fx" e
+  | Some e -> Printf.sprintf "%.1f%%" (100. *. e)
+
+let ascii ~level rows =
+  let body =
+    List.map
+      (fun (r : Diff.row) ->
+        [
+          r.Diff.case;
+          r.Diff.attr;
+          opt_cell r.Diff.est;
+          opt_cell r.Diff.sim;
+          err_cell r.Diff.rel_err;
+          gate_cell r.Diff.gate;
+          Diff.status_name r.Diff.status;
+        ])
+      rows
+  in
+  Table.render_titled
+    ~title:
+      (Printf.sprintf "APE vs simulation, level: %s"
+         (Tolerance.level_name level))
+    ~header:[ "case"; "attr"; "est"; "sim"; "rel err"; "gate"; "status" ]
+    body
+
+let tsv rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "case\tattr\test\tsim\trel_err\tgate\tstatus\n";
+  List.iter
+    (fun (r : Diff.row) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\t%s\t%s\t%s\t%s\t%s\t%s\n" r.Diff.case r.Diff.attr
+           (match r.Diff.est with None -> "-" | Some v -> Units.to_exact v)
+           (match r.Diff.sim with None -> "-" | Some v -> Units.to_exact v)
+           (match r.Diff.rel_err with
+           | None -> "-"
+           | Some e -> Units.to_exact e)
+           (gate_cell r.Diff.gate)
+           (Diff.status_name r.Diff.status)))
+    rows;
+  Buffer.contents b
+
+(* Per-attribute error statistics over every row that produced one. *)
+let attr_stats rows =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Diff.row) ->
+      match r.Diff.rel_err with
+      | None -> ()
+      | Some e ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl r.Diff.attr) in
+        Hashtbl.replace tbl r.Diff.attr (e :: prev))
+    rows;
+  let stats =
+    Hashtbl.fold
+      (fun attr errs acc ->
+        let n = List.length errs in
+        let sum = List.fold_left ( +. ) 0. errs in
+        let mx = List.fold_left Float.max 0. errs in
+        (attr, n, sum /. float_of_int n, mx) :: acc)
+      tbl []
+  in
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) stats
+
+let summary rows =
+  let body =
+    List.map
+      (fun (attr, n, mean, mx) ->
+        [ attr; string_of_int n; err_cell (Some mean); err_cell (Some mx) ])
+      (attr_stats rows)
+  in
+  Table.render ~header:[ "attr"; "rows"; "mean err"; "max err" ] body

@@ -1,0 +1,85 @@
+type level = Device | Basic | Opamp | Module_level
+
+let level_name = function
+  | Device -> "device"
+  | Basic -> "basic"
+  | Opamp -> "opamp"
+  | Module_level -> "module"
+
+let level_of_name s =
+  match String.lowercase_ascii s with
+  | "device" -> Some Device
+  | "basic" -> Some Basic
+  | "opamp" -> Some Opamp
+  | "module" -> Some Module_level
+  | _ -> None
+
+let all_levels = [ Device; Basic; Opamp; Module_level ]
+
+type gate = Rel of float | Report_only
+
+type t = { attr : string; gate : gate }
+
+let rel attr bound = { attr; gate = Rel bound }
+let report attr = { attr; gate = Report_only }
+
+(* The bounds encode the agreement the paper claims plus the headroom
+   this reproduction actually measures (EXPERIMENTS.md "Verification"):
+   areas are exact by construction, powers and currents track within a
+   few percent, gains within tens of percent, and the known-weak
+   estimates (diode-load UGF, slew, ADC delay) get order-of-magnitude
+   gates that still catch a broken estimator. *)
+
+let device =
+  [ rel "ids" 0.02; rel "gm" 0.08; rel "gds" 0.30 ]
+
+let basic =
+  [
+    rel "gate_area" 1e-6;
+    report "total_area";
+    rel "power" 0.06;
+    rel "current" 0.15;
+    rel "gain" 0.60;
+    rel "ugf" 3.0;
+    rel "zout" 0.60;
+    report "bandwidth";
+    report "cmrr";
+    report "noise";
+    report "offset";
+  ]
+
+let opamp =
+  [
+    rel "gate_area" 1e-6;
+    report "total_area";
+    rel "power" 0.06;
+    rel "gain" 0.12;
+    rel "ugf" 0.80;
+    rel "zout" 0.10;
+    rel "current" 0.40;
+    rel "slew_rate" 1.60;
+    report "cmrr";
+    report "phase_margin";
+    report "offset";
+    report "bandwidth";
+  ]
+
+let module_ =
+  [
+    rel "area" 1e-6;
+    rel "gain" 0.45;
+    rel "bandwidth" 0.45;
+    rel "f3db" 0.30;
+    rel "f20db" 0.15;
+    rel "f0" 0.05;
+    rel "delay" 2.60;
+    report "power";
+  ]
+
+let for_level = function
+  | Device -> device
+  | Basic -> basic
+  | Opamp -> opamp
+  | Module_level -> module_
+
+let find tols attr = List.find_opt (fun t -> String.equal t.attr attr) tols

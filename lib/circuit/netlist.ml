@@ -247,26 +247,39 @@ let retarget_process process t =
   in
   { t with elements }
 
-let eng = Ape_util.Units.to_eng
+(* Element values must survive print -> parse exactly (the golden deck
+   round-trip tests depend on it): use the readable engineering form when
+   it parses back to the identical double, the shortest exact decimal
+   otherwise. *)
+let spice_num x =
+  let s = Ape_util.Units.to_eng x in
+  match Ape_symbolic.Parser.parse_number s with
+  | Some v when v = x -> s
+  | Some _ | None -> Ape_util.Units.to_exact x
 
 let element_to_spice = function
   | Mosfet { name; card; d; g; s; b; geom } ->
     Printf.sprintf "%s %s %s %s %s %s W=%s L=%s" name d g s b
-      card.Card.name (eng geom.Mos.w) (eng geom.Mos.l)
-  | Resistor { name; a; b; r } -> Printf.sprintf "%s %s %s %s" name a b (eng r)
+      card.Card.name (spice_num geom.Mos.w) (spice_num geom.Mos.l)
+  | Resistor { name; a; b; r } ->
+    Printf.sprintf "%s %s %s %s" name a b (spice_num r)
   | Capacitor { name; a; b; c } ->
-    Printf.sprintf "%s %s %s %s" name a b (eng c)
+    Printf.sprintf "%s %s %s %s" name a b (spice_num c)
   | Vsource { name; p; n; dc; ac } ->
-    if ac = 0. then Printf.sprintf "%s %s %s DC %g" name p n dc
-    else Printf.sprintf "%s %s %s DC %g AC %g" name p n dc ac
+    if ac = 0. then Printf.sprintf "%s %s %s DC %s" name p n (spice_num dc)
+    else
+      Printf.sprintf "%s %s %s DC %s AC %s" name p n (spice_num dc)
+        (spice_num ac)
   | Isource { name; p; n; dc; ac } ->
-    if ac = 0. then Printf.sprintf "%s %s %s DC %g" name p n dc
-    else Printf.sprintf "%s %s %s DC %g AC %g" name p n dc ac
+    if ac = 0. then Printf.sprintf "%s %s %s DC %s" name p n (spice_num dc)
+    else
+      Printf.sprintf "%s %s %s DC %s AC %s" name p n (spice_num dc)
+        (spice_num ac)
   | Vcvs { name; p; n; cp; cn; gain } ->
-    Printf.sprintf "%s %s %s %s %s %g" name p n cp cn gain
+    Printf.sprintf "%s %s %s %s %s %s" name p n cp cn (spice_num gain)
   | Switch { name; a; b; ctrl; ron; roff; vthreshold } ->
-    Printf.sprintf "%s %s %s %s RON=%s ROFF=%s VT=%g" name a b ctrl (eng ron)
-      (eng roff) vthreshold
+    Printf.sprintf "%s %s %s %s RON=%s ROFF=%s VT=%s" name a b ctrl
+      (spice_num ron) (spice_num roff) (spice_num vthreshold)
 
 let to_spice t =
   let buf = Buffer.create 512 in

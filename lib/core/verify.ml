@@ -154,12 +154,7 @@ let sim_gain_stage (process : Proc.t) (design : Gain_stage.design) =
         netlist
     else (netlist, Dc.solve netlist)
   in
-  let gain_mag = Measure.dc_gain ~out:"out" op in
-  let signed_gain =
-    (* Recover the sign from the phase at a low frequency. *)
-    let ph = Measure.phase_at ~out:"out" op 1.0 in
-    if Float.abs ph > 90. then -.gain_mag else gain_mag
-  in
+  let signed_gain = Measure.dc_gain_signed ~out:"out" op in
   let ugf = Measure.unity_gain_frequency ~out:"out" op in
   let bw = Measure.f_minus_3db ~out:"out" op in
   (* Output impedance: null the input drive, inject 1 A AC at the
@@ -334,10 +329,7 @@ let sim_diff_pair (process : Proc.t) (design : Diff_pair.design) =
   in
   let netlist, op = solve_with_offset offset in
   let adm = Measure.dc_gain ~out:"out" op in
-  let signed_adm =
-    let ph = Measure.phase_at ~out:"out" op 1.0 in
-    if Float.abs ph > 90. then -.adm else adm
-  in
+  let signed_adm = Measure.dc_gain_signed ~out:"out" op in
   let ugf = Measure.unity_gain_frequency ~out:"out" op in
   (* Common-mode run: both inputs driven in phase. *)
   let acm =
@@ -453,10 +445,7 @@ type module_sim = {
 let module_sim_of_perf perf =
   { perf; response_time = None; f0 = None; f_20db = None; dc_code_error = None }
 
-let signed_gain ~out op =
-  let mag = Measure.dc_gain ~out op in
-  let ph = Measure.phase_at ~out op 1.0 in
-  if Float.abs ph > 90. then -.mag else mag
+let signed_gain = Measure.dc_gain_signed
 
 (* Audio amplifier: open-loop AC testbench on the trimmed two-stage
    core. *)

@@ -138,15 +138,19 @@ let level_to_int = function
   | Bsim1 -> 4
 
 let to_spice card =
+  (* Exact decimals so a printed card re-parses to the identical record
+     (the netlist round-trip tests rely on it). *)
+  let x = Ape_util.Units.to_exact in
   Printf.sprintf
-    ".MODEL %s %s (LEVEL=%d VTO=%g KP=%g GAMMA=%g PHI=%g LAMBDA=%g TOX=%g \
-     U0=%g THETA=%g VMAX=%g ETA=%g CGSO=%g CGDO=%g CGBO=%g CJ=%g MJ=%g \
-     CJSW=%g MJSW=%g PB=%g LD=%g IS=%g LREF=%g KF=%g AF=%g AVT=%g)"
+    ".MODEL %s %s (LEVEL=%d VTO=%s KP=%s GAMMA=%s PHI=%s LAMBDA=%s TOX=%s \
+     U0=%s THETA=%s VMAX=%s ETA=%s CGSO=%s CGDO=%s CGBO=%s CJ=%s MJ=%s \
+     CJSW=%s MJSW=%s PB=%s LD=%s IS=%s LREF=%s KF=%s AF=%s AVT=%s)"
     card.name
     (match card.mos_type with Nmos -> "NMOS" | Pmos -> "PMOS")
-    (level_to_int card.level) card.vto card.kp card.gamma card.phi card.lambda
-    card.tox card.u0 card.theta card.vmax card.eta card.cgso card.cgdo
-    card.cgbo card.cj card.mj card.cjsw card.mjsw card.pb card.ld
-    card.is_leak card.lref card.kf card.af card.avt
+    (level_to_int card.level) (x card.vto) (x card.kp) (x card.gamma)
+    (x card.phi) (x card.lambda) (x card.tox) (x card.u0) (x card.theta)
+    (x card.vmax) (x card.eta) (x card.cgso) (x card.cgdo) (x card.cgbo)
+    (x card.cj) (x card.mj) (x card.cjsw) (x card.mjsw) (x card.pb) (x card.ld)
+    (x card.is_leak) (x card.lref) (x card.kf) (x card.af) (x card.avt)
 
 let pp fmt card = Format.pp_print_string fmt (to_spice card)

@@ -28,11 +28,7 @@ let solve_at (op : Dc.op) freq =
     (fun e ->
       match e with
       | N.Vsource { name; ac; _ } when ac <> 0. ->
-        let br =
-          match Engine.branch_id index name with
-          | Some i -> i
-          | None -> assert false
-        in
+        let br = Engine.branch_id_exn index ~analysis:"ac" name in
         b.(br) <- Complex.add b.(br) (complex ac 0.)
       | N.Isource { p; n = nn; ac; _ } when ac <> 0. ->
         (* AC current leaves p, enters n; the residual convention puts

@@ -18,11 +18,7 @@ let rhs_vector netlist index =
     (fun e ->
       match e with
       | N.Vsource { name; ac; _ } when ac <> 0. ->
-        let br =
-          match Engine.branch_id index name with
-          | Some i -> i
-          | None -> assert false
-        in
+        let br = Engine.branch_id_exn index ~analysis:"awe" name in
         b.(br) <- b.(br) +. ac
       | N.Isource { p; n = nn; ac; _ } when ac <> 0. ->
         (match Engine.node_id index p with

@@ -107,7 +107,13 @@ let solve ?(max_iter = 150) ?(tol_v = 1e-9) ?(tol_i = 1e-12) ?x0 netlist =
     if gmin_ok then
       match try_newton ~gmin:1e-12 ~source_scale:1. x with
       | Some iters -> { netlist; index; x; iterations = iters }
-      | None -> raise (No_convergence "gmin stepping lost convergence")
+      | None ->
+        raise
+          (No_convergence
+             (Printf.sprintf
+                "dc(%s): gmin stepping converged at every stage but lost \
+                 convergence at the final gmin"
+                netlist.N.title))
     else begin
       (* Source stepping. *)
       let x = Array.make (Engine.size index) 0. in
@@ -142,7 +148,12 @@ let solve ?(max_iter = 150) ?(tol_v = 1e-9) ?(tol_i = 1e-12) ?x0 netlist =
       match result with
       | Some op -> op
       | None ->
-        raise (No_convergence "Newton, gmin, source stepping and damped                                Newton all failed")
+        raise
+          (No_convergence
+             (Printf.sprintf
+                "dc(%s): Newton, gmin stepping, source stepping and damped \
+                 Newton all failed (max_iter=%d, %d unknowns)"
+                netlist.N.title max_iter (Engine.size index)))
     end)
 
 let voltage op node = Engine.node_voltage op.index op.x node

@@ -9,6 +9,12 @@ type index = {
   total : int;
 }
 
+exception
+  Engine_error of { analysis : string; node : string option; detail : string }
+
+let engine_error ~analysis ?node detail =
+  raise (Engine_error { analysis; node; detail })
+
 let build_index netlist =
   let node_ids = Hashtbl.create 16 in
   List.iteri
@@ -36,6 +42,14 @@ let node_id idx n =
   if N.is_ground n then None else Hashtbl.find_opt idx.node_ids n
 
 let branch_id idx name = Hashtbl.find_opt idx.branch_ids name
+
+let branch_id_exn idx ~analysis name =
+  match Hashtbl.find_opt idx.branch_ids name with
+  | Some i -> i
+  | None ->
+    engine_error ~analysis ~node:name
+      "no branch-current unknown for this element (index built from a \
+       different netlist?)"
 
 let node_voltage idx x n =
   match node_id idx n with
@@ -127,9 +141,7 @@ let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
         add_residual idx f nn (-.value)
       | N.Vsource { name; p; n = nn; dc; _ } ->
         let value = source_scale *. source_value ~time ~stimulus ~name ~dc in
-        let br =
-          match branch_id idx name with Some b -> b | None -> assert false
-        in
+        let br = branch_id_exn idx ~analysis:"mna" name in
         let ibr = x.(br) in
         add_residual idx f p ibr;
         add_residual idx f nn (-.ibr);
@@ -139,9 +151,7 @@ let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
         add_jac_unknown_col idx j br p 1.;
         add_jac_unknown_col idx j br nn (-1.)
       | N.Vcvs { name; p; n = nn; cp; cn; gain } ->
-        let br =
-          match branch_id idx name with Some b -> b | None -> assert false
-        in
+        let br = branch_id_exn idx ~analysis:"mna" name in
         let ibr = x.(br) in
         add_residual idx f p ibr;
         add_residual idx f nn (-.ibr);

@@ -4,6 +4,17 @@
 
 type index
 
+exception
+  Engine_error of { analysis : string; node : string option; detail : string }
+(** Typed failure of the MNA machinery itself (as opposed to a
+    circuit-level outcome such as {!Dc.No_convergence}): [analysis] names
+    the pass that failed ("mna", "ac", "awe", …), [node] the offending
+    node or element name when one is identifiable. *)
+
+val engine_error : analysis:string -> ?node:string -> string -> 'a
+(** Raise {!Engine_error} — shared by the analyses layered on this
+    module. *)
+
 val build_index : Ape_circuit.Netlist.t -> index
 (** Unknown layout: node voltages first (non-ground nodes in sorted
     order), then one branch current per V-source and VCVS. *)
@@ -16,6 +27,11 @@ val node_id : index -> Ape_circuit.Netlist.node -> int option
 
 val branch_id : index -> string -> int option
 (** Branch-current unknown of a named V-source/VCVS. *)
+
+val branch_id_exn : index -> analysis:string -> string -> int
+(** Like {!branch_id} but raises {!Engine_error} tagged with the calling
+    [analysis] when the element has no branch unknown — the hot error
+    path of every source stamp. *)
 
 val node_voltage : index -> float array -> Ape_circuit.Netlist.node -> float
 (** Read a node voltage out of a solution vector (0 for ground). *)

@@ -5,6 +5,13 @@ let phase_at ~out op freq =
   let v = Ac.voltage op (Ac.solve_at op freq) out in
   Complex.arg v *. 180. /. Float.pi
 
+let dc_gain_signed ~out op =
+  let mag = dc_gain ~out op in
+  (* Recover the sign from the phase at a low frequency: an inverting
+     path sits near ±180°. *)
+  let ph = phase_at ~out op 1.0 in
+  if Float.abs ph > 90. then -.mag else mag
+
 (* Find the lowest crossing of |H(f)| = level by scanning a log grid for
    a bracket and refining with Brent in log-frequency. *)
 let find_crossing ~fmin ~fmax ~level ~out op =

@@ -9,6 +9,10 @@ val dc_gain : out:Ape_circuit.Netlist.node -> Dc.op -> float
 (** |V(out)| at s = 0 with the netlist's declared AC excitation (the AC
     system reduces to the real conductance matrix). *)
 
+val dc_gain_signed : out:Ape_circuit.Netlist.node -> Dc.op -> float
+(** {!dc_gain} with the sign recovered from the phase at 1 Hz (inverting
+    stages report negative gain, matching the estimator's convention). *)
+
 val gain_at : out:Ape_circuit.Netlist.node -> Dc.op -> float -> float
 (** |V(out)| at a frequency in Hz. *)
 

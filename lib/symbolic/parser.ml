@@ -16,12 +16,30 @@ let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident c = is_alpha c || is_digit c
 
-(* SPICE-style magnitude suffixes; longest match first so MEG beats m. *)
-let si_suffixes =
-  [ ("MEG", 1e6); ("meg", 1e6); ("T", 1e12); ("G", 1e9); ("K", 1e3);
-    ("k", 1e3); ("M", 1e6); ("m", 1e-3); ("u", 1e-6); ("U", 1e-6);
-    ("n", 1e-9); ("N", 1e-9); ("p", 1e-12); ("P", 1e-12); ("f", 1e-15);
-    ("F", 1e-15) ]
+(* SPICE-style magnitude suffixes, matched case-insensitively with the
+   multi-letter ones ("meg", "mil") tried before the single letters.
+   One deliberate exception to case-insensitivity: a single leading 'm'
+   keeps the engineering-notation convention used throughout this repo —
+   "M" is 1e6 and "m" is 1e-3 (classic SPICE treats both as milli). *)
+let suffix_multiplier suffix =
+  let lc = String.lowercase_ascii suffix in
+  let starts p =
+    String.length lc >= String.length p && String.sub lc 0 (String.length p) = p
+  in
+  if starts "meg" then Some 1e6
+  else if starts "mil" then Some 25.4e-6
+  else
+    match lc.[0] with
+    | 't' -> Some 1e12
+    | 'g' -> Some 1e9
+    | 'k' -> Some 1e3
+    | 'm' -> Some (if suffix.[0] = 'M' then 1e6 else 1e-3)
+    | 'u' -> Some 1e-6
+    | 'n' -> Some 1e-9
+    | 'p' -> Some 1e-12
+    | 'f' -> Some 1e-15
+    | 'a' -> Some 1e-18
+    | _ -> None
 
 let parse_number s =
   let n = String.length s in
@@ -55,17 +73,9 @@ let parse_number s =
       | Some v ->
         if suffix = "" then Some v
         else
-          let rec try_suffixes = function
-            | [] -> None
-            | (sfx, mult) :: rest ->
-              (* SPICE ignores trailing unit letters after the magnitude
-                 suffix (e.g. "10pF", "4.7kOhm"). *)
-              if String.length suffix >= String.length sfx
-                 && String.sub suffix 0 (String.length sfx) = sfx
-              then Some (v *. mult)
-              else try_suffixes rest
-          in
-          try_suffixes si_suffixes
+          (* SPICE ignores trailing unit letters after the magnitude
+             suffix (e.g. "10pF", "4.7kOhm"). *)
+          Option.map (fun mult -> v *. mult) (suffix_multiplier suffix)
     end
   end
 

@@ -71,7 +71,11 @@ let yield_check ?(sigmas = Ape_mc.Variation.default) process
     let proc = Ape_mc.Variation.perturb rng sigmas process in
     let nl = Ape_circuit.Netlist.retarget_process proc netlist in
     match Opamp_problem.measure_netlist proc row nl with
-    | None -> failwith "DC non-convergence"
+    | None ->
+      raise
+        (Ape_spice.Dc.No_convergence
+           (Printf.sprintf "mc-yield(%s): perturbed die did not converge"
+              row.Opamp_problem.name))
     | Some m ->
       List.filter_map
         (fun k -> Option.map (fun v -> (k, v)) (Cost.find m k))

@@ -57,3 +57,21 @@ let to_eng ?(digits = 3) x =
 
 let to_eng_unit ?digits unit x = to_eng ?digits x ^ unit
 let pp fmt x = Format.pp_print_string fmt (to_eng x)
+
+let to_exact x =
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else
+    (* Shortest of %.15g/%.16g/%.17g that parses back bit-identically;
+       17 significant digits always round-trip an IEEE double. *)
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p x in
+      if float_of_string s = x then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None -> (
+      match try_prec 16 with
+      | Some s -> s
+      | None -> Printf.sprintf "%.17g" x)

@@ -62,5 +62,11 @@ val to_eng : ?digits:int -> float -> string
 val to_eng_unit : ?digits:int -> string -> float -> string
 (** [to_eng_unit "Hz" 2.64e6 = "2.64MHz"]. *)
 
+val to_exact : float -> string
+(** Shortest decimal representation that parses back (with
+    [float_of_string]) to the identical IEEE double — for machine-read
+    output such as netlists and golden tables, where {!to_eng}'s 3-digit
+    rounding would lose information. *)
+
 val pp : Format.formatter -> float -> unit
 (** Pretty-print with {!to_eng}. *)

@@ -1,0 +1,7 @@
+* simple NMOS current mirror on the process default card
+VDD vdd 0 DC 5
+IB vdd ref DC 20u
+M1 ref ref 0 0 NMOS W=10u L=2.4u
+M2 out ref 0 0 NMOS W=10u L=2.4u
+RL vdd out 10k
+.END

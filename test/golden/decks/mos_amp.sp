@@ -1,0 +1,8 @@
+* common-source NMOS amplifier with an explicit model card
+.MODEL NCS NMOS (LEVEL=1 VTO=0.62 KP=1.1e-4 GAMMA=0.4 PHI=0.65 LAMBDA=0.04 TOX=2.0e-8 CGSO=2.1e-10 CGDO=2.1e-10 CJ=3e-4 MJ=0.5 PB=0.8)
+VDD vdd 0 DC 5
+VIN g 0 DC 1.2 AC 1m
+M1 d g 0 0 NCS W=20u L=1.2u
+RD vdd d 47k
+CL d 0 1p
+.END

@@ -1,0 +1,8 @@
+* switched track stage with a buffered hold node
+VIN in 0 DC 2.5 AC 0.5
+VCK ck 0 DC 5
+W1 in hold ck RON=2k ROFF=1T VT=2.5
+CH hold 0 10p
+E1 out 0 hold 0 2
+RL out 0 100k
+.END

@@ -239,6 +239,34 @@ let test_parse_roundtrip () =
   Alcotest.(check (float 1e-18)) "same gate area" (N.gate_area nl)
     (N.gate_area reparsed)
 
+let golden_decks () =
+  let dir = Filename.concat "golden" "decks" in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sp")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+let test_golden_deck_roundtrip () =
+  (* For every checked-in deck: parse -> print -> re-parse -> re-print
+     must reach a byte-identical fixpoint (exact float printing), and
+     the two parses must agree structurally. *)
+  let decks = golden_decks () in
+  Alcotest.(check bool) "golden decks present" true (List.length decks >= 4);
+  List.iter
+    (fun file ->
+      let text = In_channel.with_open_text file In_channel.input_all in
+      let nl1 = Sp.parse ~title:file text in
+      let printed1 = N.to_spice nl1 in
+      let nl2 = Sp.parse ~title:file printed1 in
+      let printed2 = N.to_spice nl2 in
+      Alcotest.(check string) (file ^ ": print/parse fixpoint") printed1
+        printed2;
+      Alcotest.(check bool)
+        (file ^ ": identical elements")
+        true
+        (N.elements nl1 = N.elements nl2))
+    decks
+
 let prop_instantiate_preserves_count =
   QCheck.Test.make ~name:"instantiate preserves element count" ~count:50
     QCheck.(string_gen_of_size (Gen.return 3) Gen.printable)
@@ -288,5 +316,7 @@ let () =
           Alcotest.test_case "switch/vcvs" `Quick test_parse_switch_and_vcvs;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "golden deck roundtrips" `Quick
+            test_golden_deck_roundtrip;
         ] );
     ]

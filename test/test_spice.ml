@@ -275,6 +275,121 @@ let test_awe_two_pole () =
         ~tol:0.02)
     [ 1.; 10.; 100. ]
 
+let test_awe_moments_rc () =
+  (* H(s) = 1/(1 + s*tau): the k-th moment is (-tau)^k exactly. *)
+  let op = Dc.solve (rc_lowpass ()) in
+  let tau = 1e-3 in
+  let m = Awe.moments ~count:4 ~out:"out" op in
+  Alcotest.(check int) "four moments" 4 (Array.length m);
+  Array.iteri
+    (fun k mk ->
+      check_close
+        (Printf.sprintf "moment %d = (-tau)^%d" k k)
+        ((-.tau) ** float_of_int k)
+        mk ~tol:1e-9)
+    m
+
+let test_awe_unity_crossing_analytic () =
+  (* Single-pole amplifier A0 = 100, fc = 1 kHz: |H| = 1 exactly at
+     fc * sqrt(A0^2 - 1). *)
+  let a0 = 100. and r = 1e3 and c = 159.154943e-9 in
+  let b = B.create ~title:"1pole" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.vcvs b ~p:"amp" ~n:"0" ~cp:"in" ~cn:"0" a0;
+  B.resistor b ~a:"amp" ~b:"out" r;
+  B.capacitor b ~a:"out" ~b:"0" c;
+  let op = Dc.solve (B.finish b) in
+  let approx = Awe.pade ~q:1 ~out:"out" op in
+  let fc = 1. /. (2. *. Float.pi *. r *. c) in
+  let expected = fc *. Float.sqrt ((a0 *. a0) -. 1.) in
+  (match Awe.unity_crossing_hz approx with
+  | Some f -> check_close "unity crossing" expected f ~tol:1e-3
+  | None -> Alcotest.fail "no unity crossing");
+  match Awe.unity_gain_frequency_hz approx with
+  | Some f -> check_close "single-pole UGF = A0*fc" (a0 *. fc) f ~tol:1e-3
+  | None -> Alcotest.fail "no UGF estimate"
+
+let test_noise_input_referred_divider () =
+  (* Equal divider: output noise 4kT*(R/2), gain 1/2, so the input-
+     referred density is sqrt(4kT*R/2)/(1/2) = 2*sqrt(2kT*R). *)
+  let r = 10e3 in
+  let b = B.create ~title:"divnoise" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.resistor b ~a:"in" ~b:"out" r;
+  B.resistor b ~a:"out" ~b:"0" r;
+  let op = Dc.solve (B.finish b) in
+  let kT = 1.380649e-23 *. 300. in
+  let expected = 2. *. Float.sqrt (2. *. kT *. r) in
+  check_close "input-referred divider noise" expected
+    (Ape_spice.Noise.input_referred ~out:"out" ~freq:1e3 op)
+    ~tol:0.02
+
+let test_transient_two_pole_step () =
+  (* Buffered RC cascade, taus 1 ms and 0.1 ms.  Closed-form step
+     response: v(t) = 1 - (t1*e^{-t/t1} - t2*e^{-t/t2}) / (t1 - t2). *)
+  let t1 = 1e-3 and t2 = 1e-4 in
+  let b = B.create ~title:"rc2step" in
+  B.vsource b ~p:"in" ~n:"0" 0.;
+  B.resistor b ~a:"in" ~b:"m" 1e3;
+  B.capacitor b ~a:"m" ~b:"0" 1e-6;
+  B.vcvs b ~p:"buf" ~n:"0" ~cp:"m" ~cn:"0" 1.;
+  B.resistor b ~a:"buf" ~b:"out" 1e3;
+  B.capacitor b ~a:"out" ~b:"0" 100e-9;
+  let op = Dc.solve (B.finish b) in
+  let r =
+    Tr.run
+      ~stimulus:[ ("V1", Tr.step ~t0:0. ~high:1. ()) ]
+      ~tstop:(3. *. t1) ~dt:(t2 /. 25.) op
+  in
+  List.iter
+    (fun t ->
+      let exact =
+        1.
+        -. ((t1 *. Float.exp (-.t /. t1)) -. (t2 *. Float.exp (-.t /. t2)))
+           /. (t1 -. t2)
+      in
+      check_close
+        (Printf.sprintf "two-pole step at t=%g" t)
+        exact
+        (Tr.value_at r "out" t)
+        ~tol:0.01)
+    [ 2e-4; 5e-4; 1e-3; 2e-3 ]
+
+(* ---------- typed engine errors ---------- *)
+
+let test_engine_error_missing_branch () =
+  let op = Dc.solve (rc_lowpass ()) in
+  match
+    Ape_spice.Engine.branch_id_exn op.Dc.index ~analysis:"ac" "VNOPE"
+  with
+  | _ -> Alcotest.fail "expected Engine_error"
+  | exception Ape_spice.Engine.Engine_error { analysis; node; detail } ->
+    Alcotest.(check string) "analysis tag" "ac" analysis;
+    Alcotest.(check (option string)) "node" (Some "VNOPE") node;
+    Alcotest.(check bool) "detail non-empty" true (String.length detail > 0)
+
+let test_no_convergence_is_typed () =
+  (* A MOSFET bench given one Newton iteration cannot converge; the
+     failure must surface as No_convergence naming the netlist. *)
+  let b = B.create ~title:"hopeless" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.nmos b proc ~d:"d" ~g:"d" ~s:"0" ~w:10e-6 ~l:2.4e-6;
+  B.resistor b ~a:"vdd" ~b:"d" 10e3;
+  match Dc.solve ~max_iter:1 (B.finish b) with
+  | _ -> Alcotest.fail "expected No_convergence"
+  | exception Dc.No_convergence msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      ("message names the analysis and netlist: " ^ msg)
+      true
+      (contains msg "dc(" && contains msg "hopeless")
+
 let test_awe_ugf_estimate () =
   let b = B.create ~title:"amp" in
   B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
@@ -500,6 +615,8 @@ let () =
           Alcotest.test_case "rc step BE" `Quick test_transient_rc_step;
           Alcotest.test_case "rc step trapezoidal" `Quick
             test_transient_trapezoidal;
+          Alcotest.test_case "two-pole step analytic" `Quick
+            test_transient_two_pole_step;
           Alcotest.test_case "helpers" `Quick test_transient_helpers;
           Alcotest.test_case "waveforms" `Quick test_waveforms;
         ] );
@@ -508,6 +625,16 @@ let () =
           Alcotest.test_case "rc pole" `Quick test_awe_rc_pole;
           Alcotest.test_case "two poles" `Quick test_awe_two_pole;
           Alcotest.test_case "ugf estimate" `Quick test_awe_ugf_estimate;
+          Alcotest.test_case "rc moments analytic" `Quick test_awe_moments_rc;
+          Alcotest.test_case "unity crossing analytic" `Quick
+            test_awe_unity_crossing_analytic;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "missing branch is typed" `Quick
+            test_engine_error_missing_branch;
+          Alcotest.test_case "no-convergence is typed" `Quick
+            test_no_convergence_is_typed;
         ] );
       ( "noise",
         [
@@ -517,6 +644,8 @@ let () =
           Alcotest.test_case "mosfet thermal" `Quick test_noise_mosfet_thermal;
           Alcotest.test_case "flicker rolloff" `Quick
             test_noise_flicker_rolloff;
+          Alcotest.test_case "input-referred divider" `Quick
+            test_noise_input_referred_divider;
         ] );
       ( "sweep",
         [

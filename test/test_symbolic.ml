@@ -132,6 +132,97 @@ let test_parse_numbers () =
   check "-2.5m" (-2.5e-3);
   Alcotest.(check bool) "garbage" true (Parser.parse_number "abc" = None)
 
+let test_parse_suffixes () =
+  let check s expected =
+    match Parser.parse_number s with
+    | Some v -> check_close s expected v
+    | None -> Alcotest.fail ("parse_number failed on " ^ s)
+  in
+  (* Every SPICE magnitude suffix, both cases.  The single letter "m"
+     is the repo's one deliberate case-significant suffix (m = milli,
+     M = mega); "meg"/"mil" and all other letters are case-free. *)
+  check "1t" 1e12;
+  check "1T" 1e12;
+  check "1g" 1e9;
+  check "1G" 1e9;
+  check "2meg" 2e6;
+  check "2MEG" 2e6;
+  check "2mEg" 2e6;
+  check "2Meg" 2e6;
+  check "1k" 1e3;
+  check "1K" 1e3;
+  check "1m" 1e-3;
+  check "1M" 1e6;
+  check "1u" 1e-6;
+  check "1U" 1e-6;
+  check "1n" 1e-9;
+  check "1N" 1e-9;
+  check "1p" 1e-12;
+  check "1P" 1e-12;
+  check "1f" 1e-15;
+  check "1F" 1e-15;
+  check "1a" 1e-18;
+  check "1A" 1e-18;
+  check "1mil" 25.4e-6;
+  check "1MIL" 25.4e-6;
+  check "1Mil" 25.4e-6;
+  (* Trailing unit letters after the suffix are conventional noise. *)
+  check "10pF" 10e-12;
+  check "4.7kOhm" 4.7e3;
+  check "100nH" 100e-9
+
+let suffix_table =
+  [
+    ("t", 1e12); ("g", 1e9); ("meg", 1e6); ("k", 1e3); ("m", 1e-3);
+    ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15); ("a", 1e-18);
+    ("mil", 25.4e-6);
+  ]
+
+let prop_suffix_scaling =
+  QCheck.Test.make ~name:"mantissa*suffix = value*multiplier" ~count:500
+    QCheck.(pair (float_range (-1e4) 1e4) (oneofl suffix_table))
+    (fun (v, (suffix, mult)) ->
+      match Parser.parse_number (Printf.sprintf "%.17g%s" v suffix) with
+      | Some got ->
+        let expected = v *. mult in
+        Float.abs (got -. expected)
+        <= 1e-12 *. Float.max 1. (Float.abs expected)
+      | None -> false)
+
+let prop_suffix_case_insensitive =
+  (* Uppercasing any suffix except the bare "m" must not change the
+     value; "m" uppercases to mega by design. *)
+  QCheck.Test.make ~name:"suffix case-insensitivity" ~count:200
+    QCheck.(
+      pair (float_range 0.5 999.)
+        (oneofl (List.filter (fun (s, _) -> s <> "m") suffix_table)))
+    (fun (v, (suffix, _)) ->
+      let s = Printf.sprintf "%.6g" v in
+      Parser.parse_number (s ^ suffix)
+      = Parser.parse_number (s ^ String.uppercase_ascii suffix))
+
+let prop_to_exact_roundtrip =
+  QCheck.Test.make ~name:"Units.to_exact round-trips through parse_number"
+    ~count:500
+    QCheck.(float_range (-1e15) 1e15)
+    (fun v ->
+      QCheck.assume (Float.is_finite v);
+      match Parser.parse_number (Ape_util.Units.to_exact v) with
+      | Some got -> got = v
+      | None -> false)
+
+let prop_to_eng_parses_close =
+  (* to_eng keeps 3 significant digits, so parsing its output must land
+     within 0.5 ulp of the third digit (5e-3 relative). *)
+  QCheck.Test.make ~name:"Units.to_eng output parses back within 3 digits"
+    ~count:500
+    QCheck.(float_range (-1e9) 1e9)
+    (fun v ->
+      QCheck.assume (Float.abs v > 1e-12);
+      match Parser.parse_number (Ape_util.Units.to_eng v) with
+      | Some got -> Float.abs (got -. v) <= 5.01e-3 *. Float.abs v
+      | None -> false)
+
 let test_parse_expr () =
   let e = Parser.parse "2 * x + sqrt(y) / 3" in
   let env = Expr.Env.of_list [ ("x", 5.); ("y", 9.) ] in
@@ -265,11 +356,17 @@ let () =
       ( "parser",
         [
           Alcotest.test_case "numbers" `Quick test_parse_numbers;
+          Alcotest.test_case "magnitude suffixes" `Quick test_parse_suffixes;
           Alcotest.test_case "expressions" `Quick test_parse_expr;
           Alcotest.test_case "precedence" `Quick test_parse_precedence;
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
-      qsuite "parser-properties" [ prop_pp_parse_roundtrip ];
+      qsuite "parser-properties"
+        [
+          prop_pp_parse_roundtrip; prop_suffix_scaling;
+          prop_suffix_case_insensitive; prop_to_exact_roundtrip;
+          prop_to_eng_parses_close;
+        ];
       qsuite "calculus-properties" [ prop_diff_sum_rule; prop_subst_then_eval ];
       ( "solver",
         [
