@@ -745,6 +745,164 @@ let run_mc () =
   | [] -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Prepared-solve AC engine: solves/sec with per-call restamping vs    *)
+(* the stamp-once prepared path, plus the synthesis-loop view (shared  *)
+(* preparation across measurements, estimation-cache hit rate).        *)
+(* Emits BENCH_sweep.json for the CI record.                           *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_testbench () =
+  let row = List.nth (opamp_rows ()) 2 in
+  let design = S.Opamp_problem.ape_design proc row in
+  let frag = E.Opamp.fragment proc design in
+  let base = E.Fragment.with_supply ~vdd:5.0 frag in
+  let vcm = design.E.Opamp.input_cm in
+  let nl =
+    Ape_circuit.Netlist.append base
+      [
+        Ape_circuit.Netlist.Vsource
+          { name = "VINP"; p = "inp"; n = "0"; dc = vcm; ac = 0.5 };
+        Ape_circuit.Netlist.Vsource
+          { name = "VINN"; p = "inn"; n = "0"; dc = vcm; ac = -0.5 };
+        Ape_circuit.Netlist.Capacitor
+          { name = "CLSW"; a = "out"; b = "0"; c = 10e-12 };
+      ]
+  in
+  (row, Ape_spice.Dc.solve nl)
+
+let run_sweep () =
+  heading "Prepared-solve AC engine: restamp-per-frequency vs stamp-once";
+  let module Ac = Ape_spice.Ac in
+  let module Measure = Ape_spice.Measure in
+  let row, op = sweep_testbench () in
+  let grid =
+    Ac.sweep_frequencies ~points_per_decade:20 ~fstart:1. ~fstop:1e9 ()
+  in
+  let n_grid = List.length grid in
+  let repeats = if fast_mode then 3 else 10 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm both paths once so allocation/GC start-up is off the clock. *)
+  List.iter (fun f -> ignore (Ac.solve_at op f)) grid;
+  let t_restamp =
+    time (fun () ->
+        for _ = 1 to repeats do
+          List.iter (fun f -> ignore (Ac.solve_at op f)) grid
+        done)
+  in
+  let prep = Ac.prepare op in
+  List.iter (fun f -> ignore (Ac.solve_prepared prep f)) grid;
+  let t_prepared =
+    time (fun () ->
+        for _ = 1 to repeats do
+          List.iter (fun f -> ignore (Ac.solve_prepared prep f)) grid
+        done)
+  in
+  let solves = float_of_int (repeats * n_grid) in
+  let rate t = solves /. Float.max 1e-9 t in
+  let speedup = rate t_prepared /. rate t_restamp in
+  print_string
+    (Table.render
+       ~header:[ "path"; "solves"; "seconds"; "solves/s" ]
+       [
+         [
+           "restamp (solve_at)"; string_of_int (repeats * n_grid);
+           Printf.sprintf "%.3f" t_restamp; eng (rate t_restamp);
+         ];
+         [
+           "prepared (stamp once)"; string_of_int (repeats * n_grid);
+           Printf.sprintf "%.3f" t_prepared; eng (rate t_prepared);
+         ];
+       ]);
+  pf "prepared speedup: %.1fx  (grid: %d points, 1 Hz .. 1 GHz)\n" speedup
+    n_grid;
+
+  (* The synthesis view: one measurement set = DC gain + UGF + f-3dB on
+     one operating point.  Before, every Measure call built its own
+     stamps; after, one preparation serves the whole set. *)
+  let sets = if fast_mode then 50 else 200 in
+  let measure_per_call () =
+    ignore (Measure.dc_gain ~out:"out" op);
+    ignore (Measure.unity_gain_frequency ~fmin:1e3 ~fmax:1e9 ~out:"out" op);
+    ignore (Measure.f_minus_3db ~fmax:1e9 ~out:"out" op)
+  in
+  let measure_shared () =
+    let p = Ac.prepare op in
+    ignore (Measure.Prepared.dc_gain ~out:"out" p);
+    ignore
+      (Measure.Prepared.unity_gain_frequency ~fmin:1e3 ~fmax:1e9 ~out:"out" p);
+    ignore (Measure.Prepared.f_minus_3db ~fmax:1e9 ~out:"out" p)
+  in
+  measure_per_call ();
+  measure_shared ();
+  (* Best of three trials: a single GC major slice can swamp these
+     sub-second loops. *)
+  let best f =
+    List.fold_left
+      (fun acc _ -> Float.min acc (time f))
+      Float.infinity [ 1; 2; 3 ]
+  in
+  let t_per_call =
+    best (fun () -> for _ = 1 to sets do measure_per_call () done)
+  in
+  let t_shared =
+    best (fun () -> for _ = 1 to sets do measure_shared () done)
+  in
+  pf "\nmeasurement sets (gain+UGF+f3dB), %d repetitions:\n" sets;
+  pf "  one preparation per Measure call: %.3f s\n" t_per_call;
+  pf "  one shared preparation per set:   %.3f s  (%.2fx)\n" t_shared
+    (t_per_call /. Float.max 1e-9 t_shared);
+
+  (* Estimation cache over a real annealing run: how often the annealer
+     revisits a quantised sizing point.  Random start, no early stop, so
+     the full move budget exercises the cache. *)
+  let rng = Ape_util.Rng.create 7 in
+  let design = S.Opamp_problem.ape_design proc row in
+  let problem =
+    S.Opamp_problem.build proc ~mode:(S.Opamp_problem.Ape_centered 0.2) row
+      design
+  in
+  let x0 =
+    Array.init problem.S.Opamp_problem.dim (fun _ ->
+        Ape_util.Rng.uniform rng 0. 1.)
+  in
+  let _best, stats =
+    S.Anneal.optimize ~schedule:synth_schedule ~rng
+      ~dim:problem.S.Opamp_problem.dim ~cost:problem.S.Opamp_problem.cost ~x0
+      ()
+  in
+  let lookups = S.Est_cache.lookups problem.S.Opamp_problem.cache
+  and hits = S.Est_cache.hits problem.S.Opamp_problem.cache in
+  let hit_rate = float_of_int hits /. Float.max 1. (float_of_int lookups) in
+  pf "\nannealing estimation cache (row oa2, %d evaluations):\n"
+    stats.S.Anneal.evaluations;
+  pf "  lookups %d, hits %d, hit rate %.1f %%\n" lookups hits
+    (100. *. hit_rate);
+
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"grid_points\": %d,\n\
+    \  \"repeats\": %d,\n\
+    \  \"restamp_solves_per_sec\": %.1f,\n\
+    \  \"prepared_solves_per_sec\": %.1f,\n\
+    \  \"prepared_speedup\": %.2f,\n\
+    \  \"measure_sets\": %d,\n\
+    \  \"measure_per_call_prep_sec\": %.4f,\n\
+    \  \"measure_shared_prep_sec\": %.4f,\n\
+    \  \"anneal_cache_lookups\": %d,\n\
+    \  \"anneal_cache_hits\": %d,\n\
+    \  \"anneal_cache_hit_rate\": %.4f\n\
+     }\n"
+    n_grid repeats (rate t_restamp) (rate t_prepared) speedup sets t_per_call
+    t_shared lookups hits hit_rate;
+  close_out oc;
+  pf "\nwrote BENCH_sweep.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -838,6 +996,7 @@ let all () =
   run_table5 ();
   run_ablation ();
   run_mc ();
+  run_sweep ();
   run_micro ()
 
 let () =
@@ -851,11 +1010,12 @@ let () =
   | "timing" -> run_ape_timing ()
   | "ablation" -> run_ablation ()
   | "mc" -> run_mc ()
+  | "sweep" -> run_sweep ()
   | "micro" -> run_micro ()
   | "all" -> all ()
   | other ->
     pf
       "unknown experiment %s (table1..table5, hierarchy, timing, ablation, \
-       mc, micro, all)\n"
+       mc, sweep, micro, all)\n"
       other;
     exit 1

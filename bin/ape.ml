@@ -376,13 +376,19 @@ let sim_cmd =
         (match out with
         | None -> ()
         | Some node ->
+          (* One preparation serves every measurement below. *)
+          let prep = Ape_spice.Ac.prepare op in
+          let module M = Ape_spice.Measure.Prepared in
           pf "AC (node %s):\n" node;
-          pf "  |H(0)| = %.4g\n" (Ape_spice.Measure.dc_gain ~out:node op);
-          (match Ape_spice.Measure.f_minus_3db ~out:node op with
+          pf "  |H(0)| = %.4g\n" (M.dc_gain ~out:node prep);
+          (match M.f_minus_3db ~out:node prep with
           | Some f -> pf "  f-3dB  = %sHz\n" (eng f)
           | None -> ());
-          match Ape_spice.Measure.unity_gain_frequency ~out:node op with
+          (match M.unity_gain_frequency ~out:node prep with
           | Some f -> pf "  UGF    = %sHz\n" (eng f)
+          | None -> ());
+          match M.phase_margin ~out:node prep with
+          | Some pm -> pf "  PM     = %.1f deg\n" pm
           | None -> ());
         0)
   in

@@ -12,6 +12,9 @@ dune runtest
 echo "== ape verify (APE vs SPICE differential gate) =="
 dune exec bin/ape.exe -- verify --golden test/golden
 
+echo "== prepared-solve AC equivalence (bit-identity vs solve_at) =="
+dune exec test/test_spice.exe -- test prepared
+
 echo "== ape mc determinism (jobs 1 vs jobs 4) =="
 dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 1 \
   | grep -v '^Monte Carlo:' > /tmp/ape_mc_jobs1.txt

@@ -154,9 +154,11 @@ let sim_gain_stage (process : Proc.t) (design : Gain_stage.design) =
         netlist
     else (netlist, Dc.solve netlist)
   in
-  let signed_gain = Measure.dc_gain_signed ~out:"out" op in
-  let ugf = Measure.unity_gain_frequency ~out:"out" op in
-  let bw = Measure.f_minus_3db ~out:"out" op in
+  (* One AC preparation serves the gain and both frequency searches. *)
+  let prep = Ape_spice.Ac.prepare op in
+  let signed_gain = Measure.Prepared.dc_gain_signed ~out:"out" prep in
+  let ugf = Measure.Prepared.unity_gain_frequency ~out:"out" prep in
+  let bw = Measure.Prepared.f_minus_3db ~out:"out" prep in
   (* Output impedance: null the input drive, inject 1 A AC at the
      output. *)
   let zout =
@@ -209,9 +211,10 @@ let sim_opamp ?(slew = true) (process : Proc.t) (design : Opamp.design) =
     | Ape_util.Rootfind.No_bracket -> 0.
   in
   let netlist, op = solve_with_offset offset in
-  let adm = Measure.dc_gain ~out:"out" op in
-  let ugf = Measure.unity_gain_frequency ~out:"out" op in
-  let pm = Measure.phase_margin ~out:"out" op in
+  let prep = Ape_spice.Ac.prepare op in
+  let adm = Measure.Prepared.dc_gain ~out:"out" prep in
+  let ugf = Measure.Prepared.unity_gain_frequency ~out:"out" prep in
+  let pm = Measure.Prepared.phase_margin ~out:"out" prep in
   let acm =
     let nl = set_source_ac ~name:"VINP" ~ac:1. netlist in
     let nl = set_source_ac ~name:"VINN" ~ac:1. nl in
@@ -328,9 +331,10 @@ let sim_diff_pair (process : Proc.t) (design : Diff_pair.design) =
     | Ape_util.Rootfind.No_bracket -> 0.
   in
   let netlist, op = solve_with_offset offset in
-  let adm = Measure.dc_gain ~out:"out" op in
-  let signed_adm = Measure.dc_gain_signed ~out:"out" op in
-  let ugf = Measure.unity_gain_frequency ~out:"out" op in
+  let prep = Ape_spice.Ac.prepare op in
+  let adm = Measure.Prepared.dc_gain ~out:"out" prep in
+  let signed_adm = Measure.Prepared.dc_gain_signed ~out:"out" prep in
+  let ugf = Measure.Prepared.unity_gain_frequency ~out:"out" prep in
   (* Common-mode run: both inputs driven in phase. *)
   let acm =
     let nl = set_source_ac ~name:"VINP" ~ac:1. netlist in
@@ -340,7 +344,7 @@ let sim_diff_pair (process : Proc.t) (design : Diff_pair.design) =
   in
   let cmrr = if acm > 0. then adm /. acm else infinity in
   let noise =
-    match Ape_spice.Noise.input_referred ~out:"out" ~freq:1e3 op with
+    match Ape_spice.Noise.input_referred_prepared ~out:"out" ~freq:1e3 prep with
     | v -> Some v
     | exception Division_by_zero -> None
   in
@@ -476,9 +480,10 @@ let sim_audio process (d : Audio_amp.design) =
     | Ape_util.Rootfind.No_bracket -> 0.
   in
   let op = solve_with_offset offset in
-  let gain = Measure.dc_gain ~out:"out" op in
-  let bw = Measure.f_minus_3db ~out:"out" op in
-  let ugf = Measure.unity_gain_frequency ~out:"out" op in
+  let prep = Ape_spice.Ac.prepare op in
+  let gain = Measure.Prepared.dc_gain ~out:"out" prep in
+  let bw = Measure.Prepared.f_minus_3db ~out:"out" prep in
+  let ugf = Measure.Prepared.unity_gain_frequency ~out:"out" prep in
   module_sim_of_perf
     {
       Perf.empty with
@@ -562,11 +567,15 @@ let sim_lpf process (d : Filter.lp_design) =
   in
   let op = Dc.solve netlist in
   let fc = d.Filter.lp_spec.Filter.f_cutoff in
-  let gain = Measure.dc_gain ~out:"out" op in
-  let f3 = Measure.f_minus_3db ~fmin:(fc /. 100.) ~fmax:(fc *. 100.) ~out:"out" op in
+  let prep = Ape_spice.Ac.prepare op in
+  let gain = Measure.Prepared.dc_gain ~out:"out" prep in
+  let f3 =
+    Measure.Prepared.f_minus_3db ~fmin:(fc /. 100.) ~fmax:(fc *. 100.)
+      ~out:"out" prep
+  in
   let f20 =
-    Measure.f_level_db ~fmin:(fc /. 100.) ~fmax:(fc *. 100.) ~level_db:(-20.)
-      ~out:"out" op
+    Measure.Prepared.f_level_db ~fmin:(fc /. 100.) ~fmax:(fc *. 100.)
+      ~level_db:(-20.) ~out:"out" prep
   in
   {
     (module_sim_of_perf
@@ -630,8 +639,9 @@ let sim_sample_hold process (d : Sample_hold.design) =
       ]
   in
   let op = Dc.solve netlist in
-  let gain = Measure.dc_gain ~out:"out" op in
-  let bw = Measure.f_minus_3db ~out:"out" op in
+  let prep = Ape_spice.Ac.prepare op in
+  let gain = Measure.Prepared.dc_gain ~out:"out" prep in
+  let bw = Measure.Prepared.f_minus_3db ~out:"out" prep in
   (* Acquisition: step the input by 0.4 V in track mode, settle to 1 %. *)
   let t_est = Float.max 1e-6 d.Sample_hold.response_time_est in
   let tstop = 6. *. t_est in

@@ -1,50 +1,5 @@
-let recommended_jobs () = Domain.recommended_domain_count ()
-
-(* Fixed contiguous chunks rather than work stealing: sample cost is
-   near-uniform (same measurement on perturbed parameters), so static
-   partitioning loses little balance and keeps the execution plan a pure
-   function of (n, jobs) — nothing about scheduling can leak into
-   results. *)
-let chunk_bounds ~jobs n =
-  let jobs = Int.max 1 (Int.min jobs n) in
-  let base = n / jobs and rem = n mod jobs in
-  Array.init jobs (fun k ->
-      let lo = (k * base) + Int.min k rem in
-      let len = base + if k < rem then 1 else 0 in
-      (lo, len))
-
-let map ~jobs n f =
-  if n < 0 then invalid_arg "Pool.map: negative length";
-  if n = 0 then [||]
-  else if jobs <= 1 || n = 1 then Array.init n f
-  else begin
-    let results = Array.make n None in
-    let fill (lo, len) =
-      for i = lo to lo + len - 1 do
-        results.(i) <- Some (f i)
-      done
-    in
-    let chunks = chunk_bounds ~jobs n in
-    let workers =
-      Array.init
-        (Array.length chunks - 1)
-        (fun k -> Domain.spawn (fun () -> fill chunks.(k + 1)))
-    in
-    (* Always join every worker, even if a chunk raises, so no domain
-       outlives the call; the first exception is re-raised after. *)
-    let main_exn =
-      match fill chunks.(0) with () -> None | exception e -> Some e
-    in
-    let first_exn =
-      Array.fold_left
-        (fun acc d ->
-          match Domain.join d with
-          | () -> acc
-          | exception e -> (match acc with None -> Some e | some -> some))
-        main_exn workers
-    in
-    (match first_exn with Some e -> raise e | None -> ());
-    Array.map
-      (function Some v -> v | None -> assert false (* every index filled *))
-      results
-  end
+(* The deterministic domain pool now lives in Ape_util.Pool so that
+   other subsystems (the AC sweep's parallel frequency grids, bench
+   harnesses) can use it without depending on lib/mc; this module keeps
+   the historical [Ape_mc.Pool] address working. *)
+include Ape_util.Pool

@@ -54,9 +54,13 @@ let simulate_measure sigmas process spec =
     let offset = offset_metric rng d in
     let nl = Netlist.retarget_process proc base in
     let op = Ape_spice.Dc.solve nl in
-    let gain = Float.abs (Ape_spice.Measure.dc_gain ~out:"out" op) in
+    (* One AC preparation per die serves both the gain and the UGF
+       search. *)
+    let prep = Ape_spice.Ac.prepare op in
+    let gain = Float.abs (Ape_spice.Measure.Prepared.dc_gain ~out:"out" prep) in
     let ugf =
-      Ape_spice.Measure.unity_gain_frequency ~fmin:1e3 ~fmax:1e9 ~out:"out" op
+      Ape_spice.Measure.Prepared.unity_gain_frequency ~fmin:1e3 ~fmax:1e9
+        ~out:"out" prep
     in
     List.filter_map
       (fun (k, v) -> Option.map (fun v -> (k, v)) v)

@@ -7,22 +7,10 @@ type sweep = { op : Dc.op; points : solution list }
 
 let complex re im = { Complex.re; im }
 
-let solve_at (op : Dc.op) freq =
-  let netlist = op.Dc.netlist and index = op.Dc.index in
+(* RHS: AC source magnitudes (constant over frequency). *)
+let stamp_rhs (op : Dc.op) =
+  let index = op.Dc.index in
   let n = Engine.size index in
-  (* Real part: DC Jacobian at the operating point (gmin kept tiny). *)
-  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
-  let c = Engine.stamp_capacitances netlist index op.Dc.x in
-  let omega = 2. *. Float.pi *. freq in
-  let a = Cmat.create n n in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let gre = Rmat.get g i j and cim = Rmat.get c i j in
-      if gre <> 0. || cim <> 0. then
-        Cmat.set a i j (complex gre (omega *. cim))
-    done
-  done;
-  (* RHS: AC source magnitudes. *)
   let b = Array.make n Complex.zero in
   List.iter
     (fun e ->
@@ -42,20 +30,143 @@ let solve_at (op : Dc.op) freq =
       | N.Vsource _ | N.Isource _ | N.Mosfet _ | N.Resistor _
       | N.Capacitor _ | N.Vcvs _ | N.Switch _ ->
         ())
-    (N.elements netlist);
+    (N.elements op.Dc.netlist);
+  b
+
+let solve_at (op : Dc.op) freq =
+  let netlist = op.Dc.netlist and index = op.Dc.index in
+  let n = Engine.size index in
+  (* Real part: DC Jacobian at the operating point (gmin kept tiny). *)
+  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
+  let c = Engine.stamp_capacitances netlist index op.Dc.x in
+  let omega = 2. *. Float.pi *. freq in
+  let a = Cmat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let gre = Rmat.get g i j and cim = Rmat.get c i j in
+      if gre <> 0. || cim <> 0. then
+        Cmat.set a i j (complex gre (omega *. cim))
+    done
+  done;
+  let b = stamp_rhs op in
   { freq; x = Cmat.solve a b }
+
+(* ------------------------------------------------------------------ *)
+(* Prepared solves: stamp once, evaluate per frequency.                *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  p_op : Dc.op;
+  size : int;
+  g : float array array;
+      (** conductance (DC Jacobian), read-only after prepare *)
+  c : float array array;  (** capacitance, read-only after prepare *)
+  rhs : Complex.t array;  (** AC excitation pattern, read-only *)
+  work : Ape_util.Matrix.Csplit.t;
+      (** G + jωC assembly (split re/im), overwritten per solve *)
+  perm : int array;  (** LU pivot workspace *)
+}
+
+let prepare (op : Dc.op) =
+  let netlist = op.Dc.netlist and index = op.Dc.index in
+  let n = Engine.size index in
+  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
+  let c = Engine.stamp_capacitances netlist index op.Dc.x in
+  {
+    p_op = op;
+    size = n;
+    (* Plain float snapshots: row access in the per-frequency assembly
+       loop goes straight to unboxed storage, no functor call. *)
+    g = Rmat.to_arrays g;
+    c = Rmat.to_arrays c;
+    rhs = stamp_rhs op;
+    work = Ape_util.Matrix.Csplit.create n;
+    perm = Array.make n 0;
+  }
+
+let op p = p.p_op
+
+(* Fill [dst] with G + jωC.  The entry values are exactly the ones
+   {!solve_at} assembles: when both stamps are zero the complex entry is
+   (0, ω·0) = Complex.zero, so skipping the sparsity test changes
+   nothing bitwise. *)
+let assemble p omega dst =
+  let n = p.size in
+  for i = 0 to n - 1 do
+    let gi = p.g.(i) and ci = p.c.(i) in
+    for j = 0 to n - 1 do
+      Cmat.set dst i j (complex gi.(j) (omega *. ci.(j)))
+    done
+  done
+
+let matrix_at p freq =
+  let a = Cmat.create p.size p.size in
+  assemble p (2. *. Float.pi *. freq) a;
+  a
+
+(* Same fill into a split-storage workspace — identical entry values,
+   just stored as separate re/im floats for the allocation-free LU. *)
+let assemble_split p omega (dst : Ape_util.Matrix.Csplit.t) =
+  let n = p.size in
+  for i = 0 to n - 1 do
+    Array.blit p.g.(i) 0 dst.Ape_util.Matrix.Csplit.re.(i) 0 n;
+    let ci = p.c.(i) and dim = dst.Ape_util.Matrix.Csplit.im.(i) in
+    for j = 0 to n - 1 do
+      dim.(j) <- omega *. ci.(j)
+    done
+  done
+
+(* Core evaluation given an assembly workspace and pivot workspace; the
+   solution vector escapes, so it is the one unavoidable allocation. *)
+let solve_in p ~work ~perm freq =
+  assemble_split p (2. *. Float.pi *. freq) work;
+  Ape_util.Matrix.Csplit.factor_in_place work perm;
+  { freq; x = Ape_util.Matrix.Csplit.solve work perm p.rhs }
+
+let solve_prepared p freq = solve_in p ~work:p.work ~perm:p.perm freq
+
+(* Parallel-safe variant: fresh workspaces, touching only the read-only
+   parts of [p].  Used by the domain-parallel sweep below. *)
+let solve_fresh p freq =
+  solve_in p
+    ~work:(Ape_util.Matrix.Csplit.create p.size)
+    ~perm:(Array.make p.size 0) freq
 
 let voltage (op : Dc.op) solution node =
   match Engine.node_id op.Dc.index node with
   | None -> Complex.zero
   | Some i -> solution.x.(i)
 
-let sweep ?(points_per_decade = 10) ~fstart ~fstop op =
+let voltage_prepared p solution node = voltage p.p_op solution node
+
+let magnitude_prepared ~node p freq =
+  Complex.norm (voltage_prepared p (solve_prepared p freq) node)
+
+let sweep_frequencies ?(points_per_decade = 10) ~fstart ~fstop () =
   if fstart <= 0. || fstop <= fstart then invalid_arg "Ac.sweep: bad range";
   let decades = Float.log10 (fstop /. fstart) in
-  let n = max 2 (1 + int_of_float (Float.ceil (decades *. float_of_int points_per_decade))) in
-  let freqs = Ape_util.Float_ext.logspace fstart fstop n in
-  { op; points = List.map (solve_at op) freqs }
+  let n =
+    max 2 (1 + int_of_float (Float.ceil (decades *. float_of_int points_per_decade)))
+  in
+  Ape_util.Float_ext.logspace fstart fstop n
+
+let sweep_prepared ?(jobs = 1) p freqs =
+  let jobs = if jobs = 0 then Ape_util.Pool.recommended_jobs () else jobs in
+  let freqs = Array.of_list freqs in
+  let n = Array.length freqs in
+  let points =
+    if jobs <= 1 then Array.map (solve_prepared p) freqs
+    else
+      (* Workspaces must not be shared across domains; [solve_fresh]
+         reads only the immutable stamps, so every jobs value produces
+         the same (bit-identical) points. *)
+      Ape_util.Pool.map ~jobs n (fun i -> solve_fresh p freqs.(i))
+  in
+  { op = p.p_op; points = Array.to_list points }
+
+let sweep ?jobs ?points_per_decade ~fstart ~fstop op =
+  let freqs = sweep_frequencies ?points_per_decade ~fstart ~fstop () in
+  sweep_prepared ?jobs (prepare op) freqs
 
 let transfer ~node sweep =
   List.map (fun s -> (s.freq, voltage sweep.op s node)) sweep.points

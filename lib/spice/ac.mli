@@ -4,7 +4,17 @@
     is exactly the DC Newton Jacobian plus jω·C, so the linearisation can
     never disagree with the nonlinear model — and solves the complex MNA
     system at each requested frequency.  AC excitations are the [ac]
-    magnitudes declared on the netlist's independent sources. *)
+    magnitudes declared on the netlist's independent sources.
+
+    Two evaluation paths coexist:
+    - {!solve_at} re-stamps the netlist on every call (the historical
+      path, kept as an independent reference implementation);
+    - {!prepare} stamps the operating point {e once} into separate real
+      G (conductance) and C (capacitance) matrices plus the RHS pattern,
+      after which {!solve_prepared} only assembles [G + jωC] into a
+      reusable workspace and factors it — no netlist traversal, no
+      finite-difference Jacobian, no per-call matrix allocation.  The
+      two paths produce bit-identical solutions. *)
 
 type solution = {
   freq : float;  (** Hz *)
@@ -17,14 +27,65 @@ type sweep = {
 }
 
 val solve_at : Dc.op -> float -> solution
-(** Single-frequency solve. *)
+(** Single-frequency solve, re-stamping the full MNA system. *)
+
+type prepared
+(** One-time preparation of a circuit for repeated AC evaluation. *)
+
+val prepare : Dc.op -> prepared
+(** Stamp G, C and the AC RHS once.  Cost is one {!solve_at} minus the
+    factorisation; every subsequent {!solve_prepared} skips the netlist
+    traversal entirely. *)
+
+val op : prepared -> Dc.op
+(** The operating point the preparation was built from. *)
+
+val solve_prepared : prepared -> float -> solution
+(** Assemble [G + jωC] in the preparation's workspace and solve.
+    Bit-identical to [solve_at (op p) freq].  Reuses internal mutable
+    workspaces: do not call concurrently from several domains on the
+    same [prepared] (use {!sweep_prepared}[ ~jobs] for that). *)
+
+val solve_fresh : prepared -> float -> solution
+(** Like {!solve_prepared} but with per-call workspaces, touching only
+    the read-only stamps — safe to call concurrently on a shared
+    [prepared] from multiple domains. *)
+
+val matrix_at : prepared -> float -> Ape_util.Matrix.Cmat.t
+(** Freshly allocated [G + jωC] at one frequency, for analyses that
+    factor the system themselves and solve many right-hand sides
+    (e.g. {!Noise}). *)
 
 val voltage : Dc.op -> solution -> Ape_circuit.Netlist.node -> Complex.t
 
+val voltage_prepared :
+  prepared -> solution -> Ape_circuit.Netlist.node -> Complex.t
+
+val magnitude_prepared :
+  node:Ape_circuit.Netlist.node -> prepared -> float -> float
+(** |V(node)| at one frequency through the prepared path. *)
+
+val sweep_frequencies :
+  ?points_per_decade:int -> fstart:float -> fstop:float -> unit -> float list
+(** The logarithmic grid {!sweep} evaluates (inclusive endpoints,
+    default 10 points/decade). *)
+
+val sweep_prepared : ?jobs:int -> prepared -> float list -> sweep
+(** Solve an explicit frequency list on one preparation.  [jobs > 1]
+    distributes frequencies over that many domains with the
+    deterministic chunking of {!Ape_util.Pool} (0 = hardware
+    recommendation); results are identical for every [jobs] value. *)
+
 val sweep :
-  ?points_per_decade:int -> fstart:float -> fstop:float -> Dc.op -> sweep
+  ?jobs:int ->
+  ?points_per_decade:int ->
+  fstart:float ->
+  fstop:float ->
+  Dc.op ->
+  sweep
 (** Logarithmic sweep, inclusive of both endpoints.  Default 10
-    points/decade. *)
+    points/decade, sequential ([jobs] as in {!sweep_prepared}).
+    Prepares once internally — every point shares the same stamps. *)
 
 val transfer :
   node:Ape_circuit.Netlist.node -> sweep -> (float * Complex.t) list
@@ -33,4 +94,4 @@ val transfer :
 val magnitude_at :
   node:Ape_circuit.Netlist.node -> Dc.op -> float -> float
 (** |V(node)| at one frequency — the building block the measurement
-    search routines refine with. *)
+    search routines refine with (re-stamping path). *)

@@ -45,26 +45,12 @@ let noise_sources (op : Dc.op) freq =
         None)
     (N.elements op.Dc.netlist)
 
-(* Complex MNA matrix at the operating point (same assembly as Ac). *)
-let system_matrix (op : Dc.op) freq =
-  let netlist = op.Dc.netlist and index = op.Dc.index in
-  let n = Engine.size index in
-  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
-  let c = Engine.stamp_capacitances netlist index op.Dc.x in
-  let omega = 2. *. Float.pi *. freq in
-  let a = Cmat.create n n in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let gre = Rmat.get g i j and cim = Rmat.get c i j in
-      if gre <> 0. || cim <> 0. then
-        Cmat.set a i j { Complex.re = gre; im = omega *. cim }
-    done
-  done;
-  a
-
-let output_noise ~out ~freq (op : Dc.op) =
+let output_noise_prepared ~out ~freq p =
+  let op = Ac.op p in
   let index = op.Dc.index in
-  let a = system_matrix op freq in
+  (* G + jωC comes pre-stamped from the shared AC preparation; only the
+     per-frequency assembly and factorisation remain. *)
+  let a = Ac.matrix_at p freq in
   let lu = Cmat.lu_factor a in
   let n = Engine.size index in
   let inject a_node b_node =
@@ -92,13 +78,19 @@ let output_noise ~out ~freq (op : Dc.op) =
   ( total,
     List.sort (fun x y -> compare y.psd x.psd) contributions )
 
-let input_referred ~out ~freq op =
-  let total, _ = output_noise ~out ~freq op in
-  let gain = Ac.magnitude_at ~node:out op freq in
+let output_noise ~out ~freq op =
+  output_noise_prepared ~out ~freq (Ac.prepare op)
+
+let input_referred_prepared ~out ~freq p =
+  let total, _ = output_noise_prepared ~out ~freq p in
+  let gain = Ac.magnitude_prepared ~node:out p freq in
   if gain = 0. then raise Division_by_zero;
   Float.sqrt total /. gain
 
-let integrated_output ~out ~fstart ~fstop ?(points_per_decade = 5) op =
+let input_referred ~out ~freq op =
+  input_referred_prepared ~out ~freq (Ac.prepare op)
+
+let integrated_output_prepared ~out ~fstart ~fstop ?(points_per_decade = 5) p =
   if fstart <= 0. || fstop <= fstart then
     invalid_arg "Noise.integrated_output: bad band";
   let n =
@@ -111,7 +103,7 @@ let integrated_output ~out ~fstart ~fstop ?(points_per_decade = 5) op =
   in
   let freqs = Ape_util.Float_ext.logspace fstart fstop n in
   let psds =
-    List.map (fun f -> fst (output_noise ~out ~freq:f op)) freqs
+    List.map (fun f -> fst (output_noise_prepared ~out ~freq:f p)) freqs
   in
   (* Trapezoidal integration on the linear frequency axis. *)
   let rec integrate acc = function
@@ -120,3 +112,7 @@ let integrated_output ~out ~fstart ~fstop ?(points_per_decade = 5) op =
     | [ _ ] | [] -> acc
   in
   Float.sqrt (integrate 0. (List.combine freqs psds))
+
+let integrated_output ~out ~fstart ~fstop ?points_per_decade op =
+  integrated_output_prepared ~out ~fstart ~fstop ?points_per_decade
+    (Ac.prepare op)

@@ -8,7 +8,13 @@
     source per frequency, and contributions add in power.
 
     Input-referred noise divides by the circuit's own signal gain (from
-    the netlist's declared AC excitation). *)
+    the netlist's declared AC excitation).
+
+    All routines run on the prepared AC engine ({!Ac.prepare}): the
+    [_prepared] variants reuse a caller-supplied preparation (one
+    stamping for a whole noise integration plus any other measurements
+    on the same operating point); the [Dc.op] forms prepare once per
+    call. *)
 
 type contribution = {
   element : string;
@@ -23,11 +29,22 @@ val output_noise :
 (** Total output noise PSD (V²/Hz) at [freq] and the per-element
     breakdown, sorted descending. *)
 
+val output_noise_prepared :
+  out:Ape_circuit.Netlist.node ->
+  freq:float ->
+  Ac.prepared ->
+  float * contribution list
+(** {!output_noise} on a shared preparation. *)
+
 val input_referred :
   out:Ape_circuit.Netlist.node -> freq:float -> Dc.op -> float
 (** Input-referred noise density, V/√Hz: output noise voltage density
     divided by the gain from the netlist's AC excitation to [out].
     Raises [Division_by_zero] when that gain is 0. *)
+
+val input_referred_prepared :
+  out:Ape_circuit.Netlist.node -> freq:float -> Ac.prepared -> float
+(** {!input_referred} on a shared preparation. *)
 
 val integrated_output :
   out:Ape_circuit.Netlist.node ->
@@ -38,3 +55,12 @@ val integrated_output :
   float
 (** RMS output noise over a band (trapezoidal integration of the PSD on
     a log grid), volts. *)
+
+val integrated_output_prepared :
+  out:Ape_circuit.Netlist.node ->
+  fstart:float ->
+  fstop:float ->
+  ?points_per_decade:int ->
+  Ac.prepared ->
+  float
+(** {!integrated_output} on a shared preparation. *)

@@ -58,7 +58,13 @@ let crossing ~source ~out ~level ~lo ~hi netlist =
     warm := Some op.Dc.x;
     Dc.voltage op out -. level
   in
-  let f_lo = solve lo and f_hi = solve hi in
+  (* [solve] threads the warm-start state, so the two endpoint solves
+     must be sequenced explicitly: a [let ... and ...] binding leaves
+     the evaluation order unspecified, and solving [hi] first would
+     warm-start the [lo] endpoint (and the whole bisection) from the
+     wrong side. *)
+  let f_lo = solve lo in
+  let f_hi = solve hi in
   if f_lo = 0. then Some lo
   else if f_hi = 0. then Some hi
   else if f_lo *. f_hi > 0. then None

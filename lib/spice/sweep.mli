@@ -36,4 +36,7 @@ val crossing :
   Ape_circuit.Netlist.t ->
   float option
 (** Input value at which [V(out)] crosses [level], located with a
-    warm-started bisection; [None] when the output never crosses. *)
+    warm-started bisection; [None] when the output never crosses.  The
+    endpoints are solved in order ([lo] first, cold; then [hi], warm
+    from [lo]) so the result is independent of compiler evaluation
+    order. *)

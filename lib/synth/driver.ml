@@ -14,6 +14,8 @@ type result = {
   best_netlist : Ape_circuit.Netlist.t;
   comment : string;
   yield : Ape_mc.Run.report option;
+  cache_hits : int;
+  cache_lookups : int;
 }
 
 let comment_of (row : Opamp_problem.row) measurement =
@@ -125,4 +127,6 @@ let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ~rng process
     best_netlist;
     comment;
     yield;
+    cache_hits = Est_cache.hits problem.Opamp_problem.cache;
+    cache_lookups = Est_cache.lookups problem.Opamp_problem.cache;
   }

@@ -16,6 +16,8 @@ type result = {
   comment : string;  (** the paper's "Comments" column *)
   yield : Ape_mc.Run.report option;
       (** Monte Carlo yield of the best candidate, when requested *)
+  cache_hits : int;  (** estimation-cache hits during the anneal *)
+  cache_lookups : int;  (** total cost evaluations requested *)
 }
 
 val run :

@@ -1,0 +1,90 @@
+(* LRU memo table for point evaluations: hash map from the quantized
+   sizing vector to a doubly-linked recency list (most recent at the
+   front), evicting from the back once over capacity. *)
+
+type node = {
+  n_key : int array;
+  n_value : float;
+  mutable n_prev : node option;  (* toward most-recently-used *)
+  mutable n_next : node option;  (* toward least-recently-used *)
+}
+
+type t = {
+  quantum : float;
+  capacity : int;
+  table : (int array, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable lookups : int;
+}
+
+let create ?(quantum = 1e-3) ~capacity () =
+  if capacity <= 0 then invalid_arg "Est_cache.create: capacity <= 0";
+  if not (quantum > 0.) then invalid_arg "Est_cache.create: quantum <= 0";
+  {
+    quantum;
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    lookups = 0;
+  }
+
+let quantize t point =
+  Array.map (fun x -> int_of_float (Float.round (x /. t.quantum))) point
+
+let unlink t n =
+  (match n.n_prev with
+  | None -> t.mru <- n.n_next
+  | Some p -> p.n_next <- n.n_next);
+  (match n.n_next with
+  | None -> t.lru <- n.n_prev
+  | Some s -> s.n_prev <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t n =
+  n.n_prev <- None;
+  n.n_next <- t.mru;
+  (match t.mru with Some m -> m.n_prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find_or_add t point f =
+  t.lookups <- t.lookups + 1;
+  let key = quantize t point in
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    n.n_value
+  | None ->
+    let v = f () in
+    let n = { n_key = key; n_value = v; n_prev = None; n_next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n;
+    if Hashtbl.length t.table > t.capacity then begin
+      match t.lru with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.n_key
+      | None -> ()
+    end;
+    v
+
+let hits t = t.hits
+let lookups t = t.lookups
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+
+let hit_rate t =
+  if t.lookups = 0 then 0. else float_of_int t.hits /. float_of_int t.lookups
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None;
+  t.hits <- 0;
+  t.lookups <- 0

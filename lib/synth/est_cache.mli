@@ -1,0 +1,36 @@
+(** LRU cache for point evaluations of the synthesis cost function.
+
+    The annealer revisits sizing points — rejected moves that clamp back
+    onto a hypercube face, and late polishing stages whose step size
+    shrinks below the cache quantum — and each evaluation runs a full
+    relaxed estimation (template instantiation, KCL penalty, AWE).  The
+    cache keys on the sizing vector quantized to a fixed grid
+    ([Float.round (x /. quantum)] per coordinate), so points closer than
+    half a quantum share an entry; with the default 1e-3 quantum on
+    unit-cube coordinates the aliasing error is far below the cost
+    model's resolution.
+
+    Not thread-safe: one cache per annealing run. *)
+
+type t
+
+val create : ?quantum:float -> capacity:int -> unit -> t
+(** [quantum] defaults to 1e-3 (coordinates live in the unit cube).
+    Raises [Invalid_argument] on a non-positive capacity or quantum. *)
+
+val find_or_add : t -> float array -> (unit -> float) -> float
+(** [find_or_add t point f] returns the cached value for [point]'s
+    quantized key, or runs [f], stores its result (evicting the
+    least-recently-used entry when over capacity) and returns it. *)
+
+val hits : t -> int
+val lookups : t -> int
+
+val hit_rate : t -> float
+(** [hits / lookups], 0 before the first lookup. *)
+
+val length : t -> int
+(** Entries currently stored (≤ capacity). *)
+
+val capacity : t -> int
+val clear : t -> unit

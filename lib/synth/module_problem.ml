@@ -30,6 +30,7 @@ type problem = {
   final : float array -> Cost.measurement option;
   start : Ape_util.Rng.t -> float array;
   area_scale : float;
+  cache : Est_cache.t;
 }
 
 let ape_module (process : Proc.t) kind =
@@ -187,19 +188,25 @@ let measure_at (process : Proc.t) kind ~area_scale netlist op =
     in
     let vout_center = Float.abs (Ape_spice.Dc.voltage op "out" -. vmid) in
     let m = ("vout_center", vout_center) :: base in
+    (* One AC preparation serves every search this kind performs. *)
+    let prep = Ape_spice.Ac.prepare op in
     let m =
       match kind with
       | M_audio _ | M_sh _ ->
-        let gain = Measure.dc_gain ~out:"out" op in
-        let bw = Measure.f_minus_3db ~fmin:10. ~fmax:1e9 ~out:"out" op in
+        let gain = Measure.Prepared.dc_gain ~out:"out" prep in
+        let bw =
+          Measure.Prepared.f_minus_3db ~fmin:10. ~fmax:1e9 ~out:"out" prep
+        in
         add (("gain", gain) :: m) "bandwidth" bw
       | M_adc { delay = _; bits } ->
-        let gain = Measure.dc_gain ~out:"out" op in
+        let gain = Measure.Prepared.dc_gain ~out:"out" prep in
         (* Default [1 V, 4 V] conversion window (see Flash_adc.spec). *)
         let lsb = 3.0 /. float_of_int (1 lsl bits) in
         let ugf =
           if gain <= 1. then None
-          else Measure.unity_gain_frequency ~fmin:1e3 ~fmax:1e9 ~out:"out" op
+          else
+            Measure.Prepared.unity_gain_frequency ~fmin:1e3 ~fmax:1e9
+              ~out:"out" prep
         in
         let delay_proxy =
           Option.map
@@ -210,20 +217,20 @@ let measure_at (process : Proc.t) kind ~area_scale netlist op =
         in
         add (add (("gain", gain) :: m) "ugf" ugf) "delay" delay_proxy
       | M_lpf { f_cutoff; _ } ->
-        let gain = Measure.dc_gain ~out:"out" op in
+        let gain = Measure.Prepared.dc_gain ~out:"out" prep in
         let f3 =
-          Measure.f_minus_3db ~fmin:(f_cutoff /. 100.)
-            ~fmax:(f_cutoff *. 100.) ~out:"out" op
+          Measure.Prepared.f_minus_3db ~fmin:(f_cutoff /. 100.)
+            ~fmax:(f_cutoff *. 100.) ~out:"out" prep
         in
         let f20 =
-          Measure.f_level_db ~fmin:(f_cutoff /. 100.)
-            ~fmax:(f_cutoff *. 100.) ~level_db:(-20.) ~out:"out" op
+          Measure.Prepared.f_level_db ~fmin:(f_cutoff /. 100.)
+            ~fmax:(f_cutoff *. 100.) ~level_db:(-20.) ~out:"out" prep
         in
         add (add (("gain", gain) :: m) "f3db" f3) "f20db" f20
       | M_bpf { f_center; _ } -> (
         match
-          Measure.bandpass_characteristics ~fmin:(f_center /. 50.)
-            ~fmax:(f_center *. 50.) ~out:"out" op
+          Measure.Prepared.bandpass_characteristics ~fmin:(f_center /. 50.)
+            ~fmax:(f_center *. 50.) ~out:"out" prep
         with
         | Some bp ->
           ("f0", bp.Measure.f_center)
@@ -301,7 +308,7 @@ let build ~rng (process : Proc.t) ~mode ~area_max kind =
   let split point =
     (Array.sub point 0 n_sizes, Array.sub point n_sizes n_free)
   in
-  let cost point =
+  let evaluate_point point =
     let sizes, nodes = split point in
     let nl = Template.instantiate template sizes in
     let x = Relax.x_engine relax nodes in
@@ -309,6 +316,10 @@ let build ~rng (process : Proc.t) ~mode ~area_max kind =
     let op = Relax.fake_op relax nl x in
     let measurement = measure_at process kind ~area_scale nl op in
     Cost.evaluate cost_model measurement +. (3. *. kcl)
+  in
+  let cache = Est_cache.create ~capacity:8192 () in
+  let cost point =
+    Est_cache.find_or_add cache point (fun () -> evaluate_point point)
   in
   let final point =
     let sizes, _ = split point in
@@ -322,7 +333,7 @@ let build ~rng (process : Proc.t) ~mode ~area_max kind =
       Array.init dim (fun k ->
           if k < n_sizes then 0.5 else node_units.(k - n_sizes))
   in
-  { kind; template; cost_model; dim; cost; final; start; area_scale }
+  { kind; template; cost_model; dim; cost; final; start; area_scale; cache }
 
 type result = {
   kind : kind;
@@ -332,6 +343,8 @@ type result = {
   measured : Cost.measurement option;
   area : float;
   stats : Anneal.stats;
+  cache_hits : int;
+  cache_lookups : int;
 }
 
 let run ?(schedule = Anneal.default_schedule) ~rng process ~mode ~area_max
@@ -357,4 +370,14 @@ let run ?(schedule = Anneal.default_schedule) ~rng process ~mode ~area_max
     | Some m -> Option.value ~default:0. (Cost.find m "area")
     | None -> 0.
   in
-  { kind; mode; meets_spec; works; measured; area; stats }
+  {
+    kind;
+    mode;
+    meets_spec;
+    works;
+    measured;
+    area;
+    stats;
+    cache_hits = Est_cache.hits problem.cache;
+    cache_lookups = Est_cache.lookups problem.cache;
+  }

@@ -36,6 +36,9 @@ type problem = {
   area_scale : float;
       (** multiplier from the synthesised core's area to the full module
           (1 except for the ADC, where it is 2ⁿ−1) *)
+  cache : Est_cache.t;
+      (** the LRU memo behind [cost] — keyed on the quantized point, so
+          re-visited sizings skip the relaxed estimation entirely *)
 }
 
 val ape_module :
@@ -59,6 +62,8 @@ type result = {
   measured : Cost.measurement option;
   area : float;  (** full-module gate area, m² *)
   stats : Anneal.stats;
+  cache_hits : int;  (** estimation-cache hits during the anneal *)
+  cache_lookups : int;  (** total cost evaluations requested *)
 }
 
 val run :

@@ -47,6 +47,7 @@ type problem = {
   final : float array -> N.t * Cost.measurement option;
   values : float array -> (string * float) list;
   cost_model : Cost.t;
+  cache : Est_cache.t;
 }
 
 (* Deterministic element names produced by the estimator's elaboration;
@@ -127,7 +128,9 @@ let measure_netlist ?(out_dc_target = 2.5) (process : Proc.t) row netlist =
   match Ape_spice.Dc.solve netlist with
   | exception Ape_spice.Dc.No_convergence _ -> None
   | op ->
-    let gain = Ape_spice.Measure.dc_gain ~out:"out" op in
+    (* One AC preparation serves the gain and the UGF search. *)
+    let prep = Ape_spice.Ac.prepare op in
+    let gain = Ape_spice.Measure.Prepared.dc_gain ~out:"out" prep in
     let base =
       [
         ("gain", gain);
@@ -140,8 +143,8 @@ let measure_netlist ?(out_dc_target = 2.5) (process : Proc.t) row netlist =
     let ugf =
       if gain <= 1. then None
       else
-        Ape_spice.Measure.unity_gain_frequency ~fmin:1e3 ~fmax:1e9
-          ~out:"out" op
+        Ape_spice.Measure.Prepared.unity_gain_frequency ~fmin:1e3 ~fmax:1e9
+          ~out:"out" prep
     in
     Some (match ugf with Some u -> ("ugf", u) :: base | None -> base)
 
@@ -239,7 +242,7 @@ let build (process : Proc.t) ~mode row design =
   let split point =
     (Array.sub point 0 n_sizes, Array.sub point n_sizes n_free)
   in
-  let cost point =
+  let evaluate_point point =
     let sizes, nodes = split point in
     let nl = Template.instantiate template sizes in
     let x = Relax.x_engine relax nodes in
@@ -268,6 +271,10 @@ let build (process : Proc.t) ~mode row design =
     in
     Cost.evaluate cost_model measurement +. (3. *. kcl)
   in
+  let cache = Est_cache.create ~capacity:8192 () in
+  let cost point =
+    Est_cache.find_or_add cache point (fun () -> evaluate_point point)
+  in
   let start rng =
     match mode with
     | Wide -> Array.init dim (fun _ -> Ape_util.Rng.uniform rng 0. 1.)
@@ -285,4 +292,4 @@ let build (process : Proc.t) ~mode row design =
     let sizes, _ = split point in
     Template.values_of_point template sizes
   in
-  { row; mode; dim; cost; start; final; values; cost_model }
+  { row; mode; dim; cost; start; final; values; cost_model; cache }

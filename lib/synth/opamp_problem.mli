@@ -57,6 +57,9 @@ type problem = {
   values : float array -> (string * float) list;
       (** named size/passive values (for reporting) *)
   cost_model : Cost.t;  (** the specification part, for verdicts *)
+  cache : Est_cache.t;
+      (** the LRU memo behind [cost] — keyed on the quantized point, so
+          re-visited sizings skip the relaxed estimation entirely *)
 }
 
 val build :

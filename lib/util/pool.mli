@@ -1,0 +1,29 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    [map ~jobs n f] computes [|f 0; ...; f (n-1)|], splitting the index
+    range into [jobs] fixed contiguous chunks, one spawned domain per
+    extra chunk (the calling domain works too).  Each index is written
+    by exactly one domain and [Domain.join] publishes the writes, so no
+    other synchronisation is needed.
+
+    Because the partition is a pure function of [(n, jobs)] and [f] is
+    applied to every index exactly once, the result array — and hence
+    any order-respecting aggregation of it — is identical for every
+    [jobs] value, provided [f i] itself depends only on [i] (give each
+    sample its own {!Rng.split_n} stream, or per-call workspaces for
+    solver tasks).  [jobs <= 1] runs sequentially with no domain
+    spawned.
+
+    An exception raised by [f] in a worker is re-raised by [map] at the
+    join; wrap fallible measurements in a result type to keep the other
+    samples.
+
+    This pool serves both the Monte Carlo runner (re-exported as
+    [Ape_mc.Pool]) and the AC sweep's parallel frequency grids
+    ([Ape_spice.Ac.sweep ~jobs]). *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the hardware-appropriate cap
+    for [~jobs]. *)

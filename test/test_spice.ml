@@ -516,6 +516,277 @@ let test_sweep_crossing () =
        ~hi:5. nl
     = None)
 
+(* ---------- prepared AC engine ---------- *)
+
+(* Bitwise agreement (up to -0. = 0.) between two AC solutions: the
+   prepared path must not change a single arithmetic operation relative
+   to the re-stamping path. *)
+let same_solution (a : Ac.solution) (b : Ac.solution) =
+  a.Ac.freq = b.Ac.freq
+  && Array.length a.Ac.x = Array.length b.Ac.x
+  && Array.for_all2
+       (fun (u : Complex.t) (v : Complex.t) ->
+         u.Complex.re = v.Complex.re && u.Complex.im = v.Complex.im)
+       a.Ac.x b.Ac.x
+
+let golden_decks () =
+  (* dune runtest runs in test/, `dune exec test/test_spice.exe` (ci.sh)
+     in the project root. *)
+  let dir =
+    List.find Sys.file_exists
+      [ Filename.concat "golden" "decks"; Filename.concat "test" "golden/decks" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sp")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+let test_prepared_matches_solve_at_golden () =
+  let freqs = [ 0.; 1.; 120.; 1e3; 4.567e4; 1e6; 1e9 ] in
+  let verified = ref 0 in
+  List.iter
+    (fun file ->
+      let text = In_channel.with_open_text file In_channel.input_all in
+      let nl = Ape_circuit.Spice_parser.parse ~title:file text in
+      match Dc.solve nl with
+      | exception Dc.No_convergence _ -> ()
+      | op ->
+        incr verified;
+        let p = Ac.prepare op in
+        List.iter
+          (fun f ->
+            let reference = Ac.solve_at op f in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: prepared = solve_at at %g Hz" file f)
+              true
+              (same_solution reference (Ac.solve_prepared p f));
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: fresh = solve_at at %g Hz" file f)
+              true
+              (same_solution reference (Ac.solve_fresh p f)))
+          freqs)
+    (golden_decks ());
+  Alcotest.(check bool) "solved several golden decks" true (!verified >= 3)
+
+let test_prepared_sweep_jobs_identical () =
+  let op = Dc.solve (rc_lowpass ()) in
+  let p = Ac.prepare op in
+  let freqs = Ac.sweep_frequencies ~points_per_decade:7 ~fstart:1. ~fstop:1e6 () in
+  let seq = Ac.sweep_prepared ~jobs:1 p freqs in
+  let par = Ac.sweep_prepared ~jobs:4 p freqs in
+  Alcotest.(check int) "same point count" (List.length seq.Ac.points)
+    (List.length par.Ac.points);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=1 = jobs=4 at %g Hz" a.Ac.freq)
+        true (same_solution a b))
+    seq.Ac.points par.Ac.points
+
+(* A MOSFET circuit exercises the finite-difference Jacobian inside the
+   preparation; random frequencies cover the assembly at arbitrary ω. *)
+let mos_amp_op () =
+  let b = B.create ~title:"csamp" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 1.2;
+  B.nmos b proc ~d:"out" ~g:"in" ~s:"0" ~w:20e-6 ~l:2.4e-6;
+  B.resistor b ~a:"vdd" ~b:"out" 47e3;
+  B.capacitor b ~a:"out" ~b:"0" 1e-12;
+  Dc.solve (B.finish b)
+
+let prop_prepared_matches_solve_at =
+  QCheck.Test.make ~name:"prepared solve bit-identical to solve_at" ~count:60
+    (QCheck.float_range (-1.) 9.) (fun logf ->
+      let f = 10. ** logf in
+      let op = mos_amp_op () in
+      let p = Ac.prepare op in
+      same_solution (Ac.solve_at op f) (Ac.solve_prepared p f))
+
+let prop_assembled_matrix_matches_direct_stamping =
+  QCheck.Test.make ~name:"G + jωC assembly matches direct stamping" ~count:60
+    (QCheck.float_range (-1.) 9.) (fun logf ->
+      let module Rmat = Ape_util.Matrix.Rmat in
+      let module Cmat = Ape_util.Matrix.Cmat in
+      let freq = 10. ** logf in
+      let op = mos_amp_op () in
+      let a = Ac.matrix_at (Ac.prepare op) freq in
+      let netlist = op.Dc.netlist and index = op.Dc.index in
+      let n = Ape_spice.Engine.size index in
+      let _, g =
+        Ape_spice.Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x
+      in
+      let c = Ape_spice.Engine.stamp_capacitances netlist index op.Dc.x in
+      let omega = 2. *. Float.pi *. freq in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let entry = Cmat.get a i j in
+          if
+            not
+              (entry.Complex.re = Rmat.get g i j
+              && entry.Complex.im = omega *. Rmat.get c i j)
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* Two buffered poles at ~0.016 Hz and a positive DC gain of 2: the
+   phase at 1 Hz is already ≈ −178°, so inferring the sign from a 1 Hz
+   phase probe (the old dc_gain_signed) misread this circuit as
+   inverting.  The ω → 0 solve is immune to pole positions. *)
+let subhertz_positive_nl () =
+  let b = B.create ~title:"subhertz" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.resistor b ~a:"in" ~b:"p1" 1e6;
+  B.capacitor b ~a:"p1" ~b:"0" 10e-6;
+  B.vcvs b ~p:"b1" ~n:"0" ~cp:"p1" ~cn:"0" 1.;
+  B.resistor b ~a:"b1" ~b:"p2" 1e6;
+  B.capacitor b ~a:"p2" ~b:"0" 10e-6;
+  B.vcvs b ~p:"out" ~n:"0" ~cp:"p2" ~cn:"0" 2.;
+  B.resistor b ~a:"out" ~b:"0" 1e3;
+  B.finish b
+
+let test_signed_gain_subhertz_poles () =
+  let op = Dc.solve (subhertz_positive_nl ()) in
+  (* Sanity: the old 1 Hz probe really sits beyond 90° of lag. *)
+  let ph1 = Measure.phase_at ~out:"out" op 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 Hz phase beyond ±90° (%.1f°)" ph1)
+    true
+    (Float.abs ph1 > 90.);
+  (* gmin (1e-12 S) loads the two 1 MΩ stages by ~1 ppm each. *)
+  check_close "positive gain recovered" 2.0
+    (Measure.dc_gain_signed ~out:"out" op)
+    ~tol:1e-5;
+  (* And an actually inverting stage still reports negative. *)
+  let b = B.create ~title:"inv" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.vcvs b ~p:"out" ~n:"0" ~cp:"0" ~cn:"in" 3.;
+  B.resistor b ~a:"out" ~b:"0" 1e3;
+  let opi = Dc.solve (B.finish b) in
+  check_close "inverting gain" (-3.)
+    (Measure.dc_gain_signed ~out:"out" opi)
+    ~tol:1e-9
+
+(* Three coincident poles behind a gain of 1000: |H| = 1 at
+   f = fc·√99 where the lag is 3·atan(√99) ≈ 252.8° — past 180°, so
+   the wrapped phase flips sign and the old phase margin came out
+   +287° instead of the true −72.8°. *)
+let three_pole_nl () =
+  let fc = 1e3 in
+  let r = 1e3 in
+  let c = 1. /. (2. *. Float.pi *. fc *. r) in
+  let b = B.create ~title:"3pole" in
+  B.vsource b ~p:"in" ~n:"0" ~ac:1. 0.;
+  B.vcvs b ~p:"amp" ~n:"0" ~cp:"in" ~cn:"0" 1000.;
+  B.resistor b ~a:"amp" ~b:"p1" r;
+  B.capacitor b ~a:"p1" ~b:"0" c;
+  B.vcvs b ~p:"b1" ~n:"0" ~cp:"p1" ~cn:"0" 1.;
+  B.resistor b ~a:"b1" ~b:"p2" r;
+  B.capacitor b ~a:"p2" ~b:"0" c;
+  B.vcvs b ~p:"b2" ~n:"0" ~cp:"p2" ~cn:"0" 1.;
+  B.resistor b ~a:"b2" ~b:"out" r;
+  B.capacitor b ~a:"out" ~b:"0" c;
+  B.finish b
+
+let test_phase_margin_unwrapped () =
+  let op = Dc.solve (three_pole_nl ()) in
+  match Measure.phase_margin ~fmin:1. ~fmax:1e8 ~out:"out" op with
+  | None -> Alcotest.fail "no unity crossing found"
+  | Some pm ->
+    (* 180 − 3·atan(√99) in degrees. *)
+    let expected =
+      180. -. (3. *. Float.atan (Float.sqrt 99.) *. 180. /. Float.pi)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "phase margin is negative (%.2f°)" pm)
+      true (pm < 0.);
+    check_close "unwrapped phase margin" expected pm ~tol:1e-3
+
+let test_unwrapped_phase_matches_wrapped_when_no_wrap () =
+  (* Single pole: lag never exceeds 90°, so the unwrapped phase must
+     equal the principal value exactly. *)
+  let op = Dc.solve (rc_lowpass ()) in
+  let p = Ape_spice.Ac.prepare op in
+  List.iter
+    (fun f ->
+      let wrapped = Measure.Prepared.phase_at ~out:"out" p f in
+      let unwrapped = Measure.Prepared.unwrapped_phase_at ~out:"out" p f in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "no-wrap identity at %g Hz" f)
+        wrapped unwrapped)
+    [ 1.; 100.; 159.; 1e4; 1e6 ]
+
+(* The endpoint solves of Sweep.crossing thread a warm-start; the
+   result must be the same whether the reference evaluates lo or hi
+   first. *)
+let nmos_inverter_nl () =
+  let b = B.create ~title:"inv" in
+  B.vsource b ~p:"vdd" ~n:"0" 5.;
+  B.vsource b ~p:"in" ~n:"0" 0.;
+  B.resistor b ~a:"vdd" ~b:"out" 10e3;
+  B.nmos b proc ~d:"out" ~g:"in" ~s:"0" ~w:20e-6 ~l:2.4e-6;
+  B.finish b
+
+let test_sweep_crossing_order_independent () =
+  let nl = nmos_inverter_nl () in
+  let crossing_ref ~hi_first =
+    (* Same warm-started bisection as Sweep.crossing, with an explicit
+       endpoint evaluation order. *)
+    let warm = ref None in
+    let solve v =
+      let b = B.create ~title:"inv" in
+      B.vsource b ~p:"vdd" ~n:"0" 5.;
+      B.vsource b ~p:"in" ~n:"0" v;
+      B.resistor b ~a:"vdd" ~b:"out" 10e3;
+      B.nmos b proc ~d:"out" ~g:"in" ~s:"0" ~w:20e-6 ~l:2.4e-6;
+      let nl = B.finish b in
+      let op =
+        match !warm with
+        | None -> Dc.solve nl
+        | Some x0 -> (
+          match Dc.solve ~x0 nl with
+          | op -> op
+          | exception Dc.No_convergence _ -> Dc.solve nl)
+      in
+      warm := Some op.Dc.x;
+      Dc.voltage op "out" -. 2.5
+    in
+    let f_lo, f_hi =
+      if hi_first then begin
+        let f_hi = solve 5. in
+        let f_lo = solve 0. in
+        (f_lo, f_hi)
+      end
+      else begin
+        let f_lo = solve 0. in
+        let f_hi = solve 5. in
+        (f_lo, f_hi)
+      end
+    in
+    assert (f_lo *. f_hi < 0.);
+    let rec bisect lo hi f_lo k =
+      if k = 0 then 0.5 *. (lo +. hi)
+      else begin
+        let mid = 0.5 *. (lo +. hi) in
+        let f_mid = solve mid in
+        if f_mid = 0. then mid
+        else if f_lo *. f_mid < 0. then bisect lo mid f_lo (k - 1)
+        else bisect mid hi f_mid (k - 1)
+      end
+    in
+    bisect 0. 5. f_lo 40
+  in
+  let lo_first = crossing_ref ~hi_first:false in
+  let hi_first = crossing_ref ~hi_first:true in
+  check_close "reference orders agree" lo_first hi_first ~tol:1e-9;
+  match
+    Ape_spice.Sweep.crossing ~source:"V2" ~out:"out" ~level:2.5 ~lo:0. ~hi:5.
+      nl
+  with
+  | None -> Alcotest.fail "crossing not found"
+  | Some v -> check_close "Sweep.crossing matches reference" lo_first v ~tol:1e-9
+
 (* ---------- properties ---------- *)
 
 let test_transient_matches_ac_steady_state () =
@@ -651,7 +922,27 @@ let () =
         [
           Alcotest.test_case "transfer" `Quick test_sweep_transfer;
           Alcotest.test_case "crossing" `Quick test_sweep_crossing;
+          Alcotest.test_case "crossing order independent" `Quick
+            test_sweep_crossing_order_independent;
         ] );
+      ( "prepared",
+        [
+          Alcotest.test_case "golden decks bit-identical" `Quick
+            test_prepared_matches_solve_at_golden;
+          Alcotest.test_case "parallel sweep identical" `Quick
+            test_prepared_sweep_jobs_identical;
+          Alcotest.test_case "sub-hertz signed gain" `Quick
+            test_signed_gain_subhertz_poles;
+          Alcotest.test_case "phase margin unwrapped" `Quick
+            test_phase_margin_unwrapped;
+          Alcotest.test_case "unwrap no-wrap identity" `Quick
+            test_unwrapped_phase_matches_wrapped_when_no_wrap;
+        ] );
+      qsuite "prepared-properties"
+        [
+          prop_prepared_matches_solve_at;
+          prop_assembled_matrix_matches_direct_stamping;
+        ];
       ( "consistency",
         [
           Alcotest.test_case "transient vs AC steady state" `Quick

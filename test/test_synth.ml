@@ -260,6 +260,61 @@ let test_comment_classification () =
     (S.Driver.comment_of row
        (Some [ ("gain", 200.); ("ugf", 3e6); ("area", 9e-9); ("vout_center", 0.1) ]))
 
+(* ---------- estimation cache ---------- *)
+
+let test_est_cache_hits_and_quantization () =
+  let cache = S.Est_cache.create ~quantum:1e-3 ~capacity:8 () in
+  let evals = ref 0 in
+  let f v = fun () -> incr evals; v in
+  Alcotest.(check (float 0.)) "miss computes" 1.
+    (S.Est_cache.find_or_add cache [| 0.5; 0.5 |] (f 1.));
+  Alcotest.(check (float 0.)) "exact revisit hits" 1.
+    (S.Est_cache.find_or_add cache [| 0.5; 0.5 |] (f 99.));
+  (* Within half a quantum: same key. *)
+  Alcotest.(check (float 0.)) "sub-quantum alias hits" 1.
+    (S.Est_cache.find_or_add cache [| 0.5004; 0.5 |] (f 99.));
+  (* A full quantum away: different key. *)
+  Alcotest.(check (float 0.)) "next cell misses" 2.
+    (S.Est_cache.find_or_add cache [| 0.501; 0.5 |] (f 2.));
+  Alcotest.(check int) "two evaluations ran" 2 !evals;
+  Alcotest.(check int) "hits" 2 (S.Est_cache.hits cache);
+  Alcotest.(check int) "lookups" 4 (S.Est_cache.lookups cache);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (S.Est_cache.hit_rate cache)
+
+let test_est_cache_lru_eviction () =
+  let cache = S.Est_cache.create ~quantum:1e-3 ~capacity:2 () in
+  let const v () = v in
+  ignore (S.Est_cache.find_or_add cache [| 0.1 |] (const 1.));
+  ignore (S.Est_cache.find_or_add cache [| 0.2 |] (const 2.));
+  (* Touch 0.1 so 0.2 becomes least recently used... *)
+  ignore (S.Est_cache.find_or_add cache [| 0.1 |] (const 99.));
+  (* ...then insert a third point, evicting 0.2 but not 0.1. *)
+  ignore (S.Est_cache.find_or_add cache [| 0.3 |] (const 3.));
+  Alcotest.(check int) "capacity respected" 2 (S.Est_cache.length cache);
+  let hits_before = S.Est_cache.hits cache in
+  ignore (S.Est_cache.find_or_add cache [| 0.1 |] (const 99.));
+  Alcotest.(check int) "0.1 survived" (hits_before + 1)
+    (S.Est_cache.hits cache);
+  Alcotest.(check (float 0.)) "0.2 was evicted" 22.
+    (S.Est_cache.find_or_add cache [| 0.2 |] (const 22.));
+  S.Est_cache.clear cache;
+  Alcotest.(check int) "clear empties" 0 (S.Est_cache.length cache);
+  Alcotest.(check int) "clear resets stats" 0 (S.Est_cache.lookups cache)
+
+let test_driver_reports_cache_stats () =
+  let row = row_with_budget () in
+  let rng = Ape_util.Rng.create 31 in
+  let r =
+    S.Driver.run ~schedule:S.Anneal.quick_schedule ~rng proc
+      ~mode:(S.Opamp_problem.Ape_centered 0.2) row
+  in
+  (* Every annealer evaluation goes through the cache. *)
+  Alcotest.(check int) "lookups = evaluations"
+    r.S.Driver.stats.S.Anneal.evaluations r.S.Driver.cache_lookups;
+  Alcotest.(check bool) "hits within lookups" true
+    (r.S.Driver.cache_hits >= 0
+    && r.S.Driver.cache_hits <= r.S.Driver.cache_lookups)
+
 (* ---------- module problems ---------- *)
 
 let test_module_problem_ape_centered () =
@@ -315,6 +370,14 @@ let () =
           Alcotest.test_case "measurement keys" `Quick test_measure_keys;
           Alcotest.test_case "comment classification" `Quick
             test_comment_classification;
+        ] );
+      ( "est-cache",
+        [
+          Alcotest.test_case "hits and quantization" `Quick
+            test_est_cache_hits_and_quantization;
+          Alcotest.test_case "lru eviction" `Quick test_est_cache_lru_eviction;
+          Alcotest.test_case "driver reports stats" `Quick
+            test_driver_reports_cache_stats;
         ] );
       ( "module-problems",
         [
