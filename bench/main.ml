@@ -903,6 +903,115 @@ let run_sweep () =
   pf "\nwrote BENCH_sweep.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the same prepared 181-point sweep with the  *)
+(* metrics registry disabled vs enabled.  Two gates ride on this       *)
+(* experiment: the solutions must stay bit-identical, and ci.sh        *)
+(* rejects an overhead above 2%.  Emits BENCH_obs.json.                *)
+(* ------------------------------------------------------------------ *)
+
+let run_obs_overhead () =
+  heading
+    "Observability overhead: 181-point prepared sweep, registry off vs on";
+  let module Ac = Ape_spice.Ac in
+  let _row, op = sweep_testbench () in
+  let prep = Ac.prepare op in
+  let grid =
+    Ac.sweep_frequencies ~points_per_decade:20 ~fstart:1. ~fstop:1e9 ()
+  in
+  let n_grid = List.length grid in
+  let sweep_once () = List.map (fun f -> Ac.solve_prepared prep f) grid in
+  (* Calibrate the repeat count so one trial runs ~0.4 s: long enough to
+     drown scheduler noise, short enough for five trials per setting. *)
+  Ape_obs.disable ();
+  ignore (sweep_once ());
+  let t1 =
+    let t0 = Unix.gettimeofday () in
+    ignore (sweep_once ());
+    Unix.gettimeofday () -. t0
+  in
+  let target = if fast_mode then 0.1 else 0.4 in
+  let repeats =
+    max 3 (int_of_float (Float.round (target /. Float.max 1e-6 t1)))
+  in
+  let trials = 5 in
+  let time_trials () =
+    (* Best of [trials]: a GC major slice or a preempt inflates a trial,
+       never deflates one, so the minimum is the honest estimate. *)
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to repeats do
+        ignore (sweep_once ())
+      done;
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let sols_off = sweep_once () in
+  let t_off = time_trials () in
+  Ape_obs.enable ();
+  Ape_obs.reset ();
+  ignore (sweep_once ());
+  let sols_on = sweep_once () in
+  let t_on = time_trials () in
+  Ape_obs.disable ();
+  let identical =
+    List.for_all2
+      (fun (a : Ac.solution) (b : Ac.solution) ->
+        a.Ac.freq = b.Ac.freq
+        && Array.for_all2
+             (fun (p : Complex.t) (q : Complex.t) ->
+               Int64.equal
+                 (Int64.bits_of_float p.Complex.re)
+                 (Int64.bits_of_float q.Complex.re)
+               && Int64.equal
+                    (Int64.bits_of_float p.Complex.im)
+                    (Int64.bits_of_float q.Complex.im))
+             a.Ac.x b.Ac.x)
+      sols_off sols_on
+  in
+  let solves = float_of_int (repeats * n_grid) in
+  let rate t = solves /. Float.max 1e-9 t in
+  let overhead_pct = 100. *. (t_on -. t_off) /. Float.max 1e-9 t_off in
+  print_string
+    (Table.render
+       ~header:[ "registry"; "solves"; "seconds (best of 5)"; "solves/s" ]
+       [
+         [
+           "disabled"; string_of_int (repeats * n_grid);
+           Printf.sprintf "%.4f" t_off; eng (rate t_off);
+         ];
+         [
+           "enabled"; string_of_int (repeats * n_grid);
+           Printf.sprintf "%.4f" t_on; eng (rate t_on);
+         ];
+       ]);
+  pf "solutions bit-identical with registry on: %b\n" identical;
+  pf "observability overhead: %+.2f %%  (grid: %d points, 1 Hz .. 1 GHz)\n"
+    overhead_pct n_grid;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"grid_points\": %d,\n\
+    \  \"repeats\": %d,\n\
+    \  \"trials\": %d,\n\
+    \  \"off_seconds\": %.6f,\n\
+    \  \"on_seconds\": %.6f,\n\
+    \  \"off_solves_per_sec\": %.1f,\n\
+    \  \"on_solves_per_sec\": %.1f,\n\
+    \  \"overhead_pct\": %.4f,\n\
+    \  \"bit_identical\": %b\n\
+     }\n"
+    n_grid repeats trials t_off t_on (rate t_off) (rate t_on) overhead_pct
+    identical;
+  close_out oc;
+  pf "wrote BENCH_obs.json\n";
+  if not identical then begin
+    pf "FAIL: instrumentation changed numeric results\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -997,6 +1106,7 @@ let all () =
   run_ablation ();
   run_mc ();
   run_sweep ();
+  run_obs_overhead ();
   run_micro ()
 
 let () =
@@ -1011,11 +1121,12 @@ let () =
   | "ablation" -> run_ablation ()
   | "mc" -> run_mc ()
   | "sweep" -> run_sweep ()
+  | "obs-overhead" -> run_obs_overhead ()
   | "micro" -> run_micro ()
   | "all" -> all ()
   | other ->
     pf
       "unknown experiment %s (table1..table5, hierarchy, timing, ablation, \
-       mc, sweep, micro, all)\n"
+       mc, sweep, obs-overhead, micro, all)\n"
       other;
     exit 1

@@ -31,6 +31,59 @@ let number_conv =
 
 open Cmdliner
 
+(* ---------- shared infrastructure ---------- *)
+
+(* Exit-code discipline: every subcommand maps an internal engine
+   failure (MNA machinery error, Newton non-convergence, a numerically
+   singular deck) to a clean message and exit code 1, never a raw
+   backtrace or cmdliner's 125. *)
+let guard f =
+  try f () with
+  | Ape_spice.Engine.Engine_error { analysis; node; detail } ->
+    pf "engine error (%s%s): %s\n" analysis
+      (match node with Some n -> " at " ^ n | None -> "")
+      detail;
+    1
+  | Ape_spice.Dc.No_convergence msg ->
+    pf "no convergence: %s\n" msg;
+    1
+  | Ape_spice.Transient.Step_failed t ->
+    pf "transient step failed at t=%ss\n" (eng t);
+    1
+  | Ape_util.Matrix.Singular ->
+    pf "singular system: the deck has no unique solution\n";
+    1
+  | Ape_estimator.Opamp.Infeasible msg ->
+    pf "infeasible: %s\n" msg;
+    1
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record observability data (solver counters, span timings, \
+           histograms) during the run and print it afterwards.  Results \
+           are bit-identical with or without this flag.")
+
+let with_trace trace f =
+  if not trace then f ()
+  else begin
+    Ape_obs.enable ();
+    Ape_obs.reset ();
+    let finish () =
+      pf "\n-- observability (--trace) --\n%s"
+        (Ape_obs.render (Ape_obs.snapshot ()))
+    in
+    match f () with
+    | code ->
+      finish ();
+      code
+    | exception e ->
+      finish ();
+      raise e
+  end
+
 (* ---------- shared arguments ---------- *)
 
 let gain_arg =
@@ -210,7 +263,9 @@ let synth_cmd =
       & info [ "jobs" ] ~doc:"Worker domains for the yield check.")
   in
   let run gain ugf ibias cl buffer zout wilson cascode mode seed area
-      mc_samples mc_jobs =
+      mc_samples mc_jobs trace =
+    with_trace trace @@ fun () ->
+    guard @@ fun () ->
     let buffer, bias, zout = topology buffer wilson cascode zout in
     let proto =
       {
@@ -263,7 +318,7 @@ let synth_cmd =
     Term.(
       const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
       $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg
-      $ mc_samples_arg $ mc_jobs_arg)
+      $ mc_samples_arg $ mc_jobs_arg $ trace_arg)
 
 (* ---------- ape mc ---------- *)
 
@@ -310,7 +365,9 @@ let mc_cmd =
           ~doc:"Print an ASCII histogram of this metric (repeatable).")
   in
   let run kind gain ugf ibias cl buffer zout wilson cascode samples jobs seed
-      level sigma_scale hists =
+      level sigma_scale hists trace =
+    with_trace trace @@ fun () ->
+    guard @@ fun () ->
     if kind <> "opamp" then begin
       pf "unknown mc workload %s (only: opamp)\n" kind;
       exit 1
@@ -347,7 +404,8 @@ let mc_cmd =
     Term.(
       const run $ kind_arg $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg
       $ buffer_arg $ zout_arg $ wilson_arg $ cascode_arg $ samples_arg
-      $ jobs_arg $ seed_arg $ level_arg $ sigma_scale_arg $ hist_arg)
+      $ jobs_arg $ seed_arg $ level_arg $ sigma_scale_arg $ hist_arg
+      $ trace_arg)
 
 (* ---------- ape sim ---------- *)
 
@@ -360,13 +418,15 @@ let sim_cmd =
       value & opt (some string) None
       & info [ "out" ] ~doc:"Output node for AC measurements.")
   in
-  let run file out =
+  let run file out trace =
+    with_trace trace @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     match Ape_circuit.Spice_parser.parse ~process:proc ~title:file text with
     | exception Ape_circuit.Spice_parser.Parse_error msg ->
       pf "parse error: %s\n" msg;
       1
     | netlist -> (
+      guard @@ fun () ->
       match Ape_spice.Dc.solve netlist with
       | exception Ape_spice.Dc.No_convergence msg ->
         pf "DC did not converge: %s\n" msg;
@@ -394,7 +454,7 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Solve a SPICE netlist (DC + AC measurements).")
-    Term.(const run $ file_arg $ out_arg)
+    Term.(const run $ file_arg $ out_arg $ trace_arg)
 
 (* ---------- ape verify ---------- *)
 
@@ -436,7 +496,9 @@ let verify_cmd =
       & info [ "no-slew" ]
           ~doc:"Skip the opamp transient slew measurement (faster).")
   in
-  let run levels golden no_golden update tsv no_slew =
+  let run levels golden no_golden update tsv no_slew trace =
+    with_trace trace @@ fun () ->
+    guard @@ fun () ->
     let levels =
       match levels with
       | [] -> C.Tolerance.all_levels
@@ -464,7 +526,83 @@ let verify_cmd =
           attribute against its tolerance and the golden tables.")
     Term.(
       const run $ level_arg $ golden_arg $ no_golden_arg $ update_arg
-      $ tsv_arg $ no_slew_arg)
+      $ tsv_arg $ no_slew_arg $ trace_arg)
+
+(* ---------- ape stats ---------- *)
+
+let stats_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("synth", `Synth); ("verify", `Verify) ]) `Synth
+      & info [ "workload" ]
+          ~doc:
+            "Instrumented workload: synth (anneal a reference 200x/2MHz \
+             opamp) or verify (run the differential checker without golden \
+             tables).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the ape-obs/1 JSON document instead of ASCII tables.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Smaller workload: quick annealing schedule (synth) or no slew \
+             transient (verify).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed (synth workload).")
+  in
+  let run workload json quick seed =
+    Ape_obs.enable ();
+    Ape_obs.reset ();
+    guard @@ fun () ->
+    (match workload with
+    | `Synth ->
+      let proto =
+        {
+          S.Opamp_problem.name = "stats";
+          gain = 200.;
+          ugf = 2e6;
+          area = 1.;
+          ibias = 1e-6;
+          curr_src = E.Bias.Simple;
+          buffer = false;
+          zout = None;
+          cl = 10e-12;
+        }
+      in
+      let ape = S.Opamp_problem.ape_design proc proto in
+      let row =
+        { proto with
+          S.Opamp_problem.area = 1.3 *. ape.E.Opamp.perf.E.Perf.gate_area
+        }
+      in
+      let schedule =
+        if quick then S.Anneal.quick_schedule else S.Anneal.default_schedule
+      in
+      let rng = Ape_util.Rng.create seed in
+      ignore
+        (S.Driver.run ~schedule ~rng proc
+           ~mode:(S.Opamp_problem.Ape_centered 0.2) row)
+    | `Verify ->
+      let module C = Ape_check in
+      ignore (C.Check.run ~slew:(not quick) proc));
+    let snap = Ape_obs.snapshot () in
+    print_string (if json then Ape_obs.render_json snap else Ape_obs.render snap);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an instrumented workload and print the observability snapshot \
+          (counters, gauges, histograms, span timings).")
+    Term.(const run $ workload_arg $ json_arg $ quick_arg $ seed_arg)
 
 (* ---------- ape vase ---------- *)
 
@@ -510,5 +648,5 @@ let () =
        (Cmd.group info
           [
             opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; verify_cmd;
-            vase_cmd;
+            stats_cmd; vase_cmd;
           ]))

@@ -15,6 +15,24 @@ dune exec bin/ape.exe -- verify --golden test/golden
 echo "== prepared-solve AC equivalence (bit-identity vs solve_at) =="
 dune exec test/test_spice.exe -- test prepared
 
+echo "== observability bit-identity (obs on/off, pool jobs 1 vs N) =="
+dune exec test/test_obs.exe -- test bit-identity
+
+echo "== ape stats --json CI artifact (verify workload) =="
+dune exec bin/ape.exe -- stats --workload verify --quick --json > ape_stats.json
+grep -q '"schema": "ape-obs/1"' ape_stats.json
+echo "wrote ape_stats.json"
+
+echo "== observability overhead gate (<= 2% on the 181-point sweep) =="
+dune exec bench/main.exe -- obs-overhead
+awk -F': *|,' '/"overhead_pct"/ { pct = $2 }
+  /"bit_identical"/ { bit = $2 }
+  END {
+    if (bit != "true") { print "FAIL: results not bit-identical"; exit 1 }
+    if (pct + 0. > 2.0) { printf "FAIL: obs overhead %.2f%% > 2%%\n", pct; exit 1 }
+    printf "obs overhead %.2f%% <= 2%% OK\n", pct
+  }' BENCH_obs.json
+
 echo "== ape mc determinism (jobs 1 vs jobs 4) =="
 dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 1 \
   | grep -v '^Monte Carlo:' > /tmp/ape_mc_jobs1.txt

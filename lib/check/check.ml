@@ -14,8 +14,12 @@ let drifts t = List.concat_map (fun r -> r.drifts) t.results
 
 let ok t = failures t = [] && drifts t = []
 
+let c_rows = Ape_obs.counter "check.rows"
+
 let run_level ?slew ?golden_dir ~update process level =
+  Ape_obs.span (Tolerance.level_name level) @@ fun () ->
   let rows = Cases.rows_for ?slew process level in
+  Ape_obs.add c_rows (List.length rows);
   match golden_dir with
   | None -> { level; rows; drifts = []; promoted = false }
   | Some dir ->
@@ -48,6 +52,8 @@ let run_level ?slew ?golden_dir ~update process level =
 let run ?slew ?golden_dir ?(update = false) ?(levels = Tolerance.all_levels)
     process =
   let update = update || Golden.update_requested () in
+  (* Verify wall-time per hierarchy level: spans nest as verify/<level>. *)
+  Ape_obs.span "verify" @@ fun () ->
   { results = List.map (run_level ?slew ?golden_dir ~update process) levels }
 
 let render ?(tsv = false) t =

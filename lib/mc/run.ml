@@ -1,5 +1,10 @@
 module Rng = Ape_util.Rng
 
+let c_runs = Ape_obs.counter "mc.runs"
+let c_samples = Ape_obs.counter "mc.samples"
+let c_sample_failures = Ape_obs.counter "mc.sample_failures"
+let h_sample_seconds = Ape_obs.histogram "mc.sample_seconds"
+
 type check = { metric : string; lower : float option; upper : float option }
 
 let at_least metric bound = { metric; lower = Some bound; upper = None }
@@ -45,15 +50,23 @@ let metric report name =
 
 let run ?(checks = []) config ~measure =
   if config.samples <= 0 then invalid_arg "Run.run: samples <= 0";
+  Ape_obs.span "mc.run" @@ fun () ->
+  Ape_obs.incr c_runs;
+  Ape_obs.add c_samples config.samples;
   let t0 = Unix.gettimeofday () in
   (* One child stream per sample, keyed by index: the sample outcome is a
      pure function of (seed, index), never of jobs or scheduling. *)
   let streams = Rng.split_n (Rng.create config.seed) config.samples in
   let outcomes =
     Pool.map ~jobs:config.jobs config.samples (fun i ->
-        match measure streams.(i) i with
-        | metrics -> Ok metrics
-        | exception e -> Error (Printexc.to_string e))
+        (* Per-scenario throughput: each sample's wall time lands in the
+           worker's own sink; Pool merges them at the join. *)
+        Ape_obs.time h_sample_seconds (fun () ->
+            match measure streams.(i) i with
+            | metrics -> Ok metrics
+            | exception e ->
+              Ape_obs.incr c_sample_failures;
+              Error (Printexc.to_string e)))
   in
   (* Sequential aggregation in sample order keeps every statistic
      bit-identical across jobs values. *)

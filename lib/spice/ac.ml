@@ -5,6 +5,11 @@ module Cmat = Ape_util.Matrix.Cmat
 type solution = { freq : float; x : Complex.t array }
 type sweep = { op : Dc.op; points : solution list }
 
+let c_prepare = Ape_obs.counter "ac.prepare"
+let c_solve_at = Ape_obs.counter "ac.solve_at"
+let c_solve_prepared = Ape_obs.counter "ac.solve_prepared"
+let c_sweep_points = Ape_obs.counter "ac.sweep_points"
+
 let complex re im = { Complex.re; im }
 
 (* RHS: AC source magnitudes (constant over frequency). *)
@@ -34,6 +39,7 @@ let stamp_rhs (op : Dc.op) =
   b
 
 let solve_at (op : Dc.op) freq =
+  Ape_obs.incr c_solve_at;
   let netlist = op.Dc.netlist and index = op.Dc.index in
   let n = Engine.size index in
   (* Real part: DC Jacobian at the operating point (gmin kept tiny). *)
@@ -68,6 +74,7 @@ type prepared = {
 }
 
 let prepare (op : Dc.op) =
+  Ape_obs.incr c_prepare;
   let netlist = op.Dc.netlist and index = op.Dc.index in
   let n = Engine.size index in
   let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
@@ -119,6 +126,7 @@ let assemble_split p omega (dst : Ape_util.Matrix.Csplit.t) =
 (* Core evaluation given an assembly workspace and pivot workspace; the
    solution vector escapes, so it is the one unavoidable allocation. *)
 let solve_in p ~work ~perm freq =
+  Ape_obs.incr c_solve_prepared;
   assemble_split p (2. *. Float.pi *. freq) work;
   Ape_util.Matrix.Csplit.factor_in_place work perm;
   { freq; x = Ape_util.Matrix.Csplit.solve work perm p.rhs }
@@ -154,6 +162,7 @@ let sweep_prepared ?(jobs = 1) p freqs =
   let jobs = if jobs = 0 then Ape_util.Pool.recommended_jobs () else jobs in
   let freqs = Array.of_list freqs in
   let n = Array.length freqs in
+  Ape_obs.add c_sweep_points n;
   let points =
     if jobs <= 1 then Array.map (solve_prepared p) freqs
     else

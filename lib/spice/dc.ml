@@ -10,6 +10,10 @@ type op = {
 
 exception No_convergence of string
 
+let c_solves = Ape_obs.counter "dc.solves"
+let c_newton_iters = Ape_obs.counter "dc.newton_iters"
+let c_failures = Ape_obs.counter "dc.no_convergence"
+
 let max_norm a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. a
 
 (* One damped-Newton solve at a fixed (gmin, source_scale); updates [x]
@@ -74,7 +78,7 @@ let initial_guess netlist index =
   done;
   x
 
-let solve ?(max_iter = 150) ?(tol_v = 1e-9) ?(tol_i = 1e-12) ?x0 netlist =
+let solve_impl ?(max_iter = 150) ?(tol_v = 1e-9) ?(tol_i = 1e-12) ?x0 netlist =
   N.validate netlist;
   let index = Engine.build_index netlist in
   let x =
@@ -155,6 +159,16 @@ let solve ?(max_iter = 150) ?(tol_v = 1e-9) ?(tol_i = 1e-12) ?x0 netlist =
                  Newton all failed (max_iter=%d, %d unknowns)"
                 netlist.N.title max_iter (Engine.size index)))
     end)
+
+let solve ?max_iter ?tol_v ?tol_i ?x0 netlist =
+  Ape_obs.incr c_solves;
+  match solve_impl ?max_iter ?tol_v ?tol_i ?x0 netlist with
+  | op ->
+    Ape_obs.add c_newton_iters op.iterations;
+    op
+  | exception (No_convergence _ as e) ->
+    Ape_obs.incr c_failures;
+    raise e
 
 let voltage op node = Engine.node_voltage op.index op.x node
 

@@ -2,6 +2,30 @@ module N = Ape_circuit.Netlist
 
 type point = { value : float; op : Dc.op }
 
+let c_solves = Ape_obs.counter "sweep.solves"
+let c_warm_hits = Ape_obs.counter "sweep.warm_hits"
+let c_warm_fallbacks = Ape_obs.counter "sweep.warm_fallbacks"
+
+(* Shared warm-start step: solve with the previous solution as the
+   starting point, falling back to the cold strategies when that fails.
+   The counters record how often the warm start actually paid off. *)
+let solve_warm warm nl =
+  Ape_obs.incr c_solves;
+  let op =
+    match !warm with
+    | None -> Dc.solve nl
+    | Some x0 -> (
+      match Dc.solve ~x0 nl with
+      | op ->
+        Ape_obs.incr c_warm_hits;
+        op
+      | exception Dc.No_convergence _ ->
+        Ape_obs.incr c_warm_fallbacks;
+        Dc.solve nl)
+  in
+  warm := Some op.Dc.x;
+  op
+
 let set_source_dc ~name ~dc netlist =
   let found = ref false in
   let elements =
@@ -27,17 +51,7 @@ let run ~source ~values netlist =
   List.map
     (fun value ->
       let nl = set_source_dc ~name:source ~dc:value netlist in
-      let op =
-        match !warm with
-        | None -> Dc.solve nl
-        | Some x0 -> (
-          (* A failing warm start falls back to the cold strategies. *)
-          match Dc.solve ~x0 nl with
-          | op -> op
-          | exception Dc.No_convergence _ -> Dc.solve nl)
-      in
-      warm := Some op.Dc.x;
-      { value; op })
+      { value; op = solve_warm warm nl })
     values
 
 let transfer ~source ~out ~values netlist =
@@ -47,15 +61,7 @@ let crossing ~source ~out ~level ~lo ~hi netlist =
   let warm = ref None in
   let solve v =
     let nl = set_source_dc ~name:source ~dc:v netlist in
-    let op =
-      match !warm with
-      | None -> Dc.solve nl
-      | Some x0 -> (
-        match Dc.solve ~x0 nl with
-        | op -> op
-        | exception Dc.No_convergence _ -> Dc.solve nl)
-    in
-    warm := Some op.Dc.x;
+    let op = solve_warm warm nl in
     Dc.voltage op out -. level
   in
   (* [solve] threads the warm-start state, so the two endpoint solves

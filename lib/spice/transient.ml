@@ -24,6 +24,16 @@ type result = { times : float array; nodes : (string * float array) list }
 
 exception Step_failed of float
 
+(* Step-acceptance observability: [transient.steps] counts requested
+   top-level steps, [transient.solves] every Newton solve attempt
+   (including the sub-steps step cutting introduces), and
+   [transient.step_cuts] each halving — together they pin the
+   controller's accept/retry behaviour for a given deck. *)
+let c_steps = Ape_obs.counter "transient.steps"
+let c_solves = Ape_obs.counter "transient.solves"
+let c_newton_iters = Ape_obs.counter "transient.newton_iters"
+let c_step_cuts = Ape_obs.counter "transient.step_cuts"
+
 let max_norm a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. a
 
 (* Newton solve of F(x) + C·(x - x_prev)/h [BE] = 0 at time t, starting
@@ -33,6 +43,7 @@ let max_norm a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. a
 let solve_step ~method_ ~max_newton ~stimulus ~time ~dt netlist index
     ~x_prev ~icap_prev x =
   let n = Engine.size index in
+  Ape_obs.incr c_solves;
   let ok = ref false and iter = ref 0 in
   let c = Engine.stamp_capacitances netlist index x_prev in
   let coeff = match method_ with Backward_euler -> 1. | Trapezoidal -> 2. in
@@ -73,6 +84,7 @@ let solve_step ~method_ ~max_newton ~stimulus ~time ~dt netlist index
         if max_norm dx < 1e-9 then ok := true
       end
   done;
+  Ape_obs.add c_newton_iters !iter;
   if not !ok then None
   else begin
     (* Capacitor current at the accepted point (for trapezoidal). *)
@@ -115,6 +127,7 @@ let run ?(method_ = Backward_euler) ?(max_newton = 60) ~stimulus ~tstop ~dt
   let x_prev = ref (Array.copy x) in
   let icap_prev = ref (Array.make n 0.) in
   for k = 1 to n_steps do
+    Ape_obs.incr c_steps;
     let t = float_of_int k *. dt in
     times.(k) <- t;
     (* Step cutting: retry a failing Newton with smaller internal
@@ -128,6 +141,7 @@ let run ?(method_ = Backward_euler) ?(max_newton = 60) ~stimulus ~tstop ~dt
       with
       | Some icap -> (x_try, icap)
       | None ->
+        Ape_obs.incr c_step_cuts;
         if depth >= 8 then raise (Step_failed t_to);
         let mid = 0.5 *. (t_from +. t_to) in
         let x_mid, icap_mid =

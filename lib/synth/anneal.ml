@@ -34,6 +34,13 @@ type stats = {
 
 let clamp01 x = Ape_util.Float_ext.clamp ~lo:0. ~hi:1. x
 
+let c_evals = Ape_obs.counter "anneal.evaluations"
+let c_accepts = Ape_obs.counter "anneal.accepts"
+let c_rejects = Ape_obs.counter "anneal.rejects"
+let c_improvements = Ape_obs.counter "anneal.best_improvements"
+let c_stages = Ape_obs.counter "anneal.stages"
+let g_temperature = Ape_obs.gauge "anneal.temperature"
+
 let optimize ?(schedule = default_schedule) ?(stop_below = neg_infinity)
     ~rng ~dim ~cost ~x0 () =
   if dim <= 0 then invalid_arg "Anneal.optimize: dim <= 0";
@@ -43,6 +50,7 @@ let optimize ?(schedule = default_schedule) ?(stop_below = neg_infinity)
   let evaluations = ref 0 in
   let eval p =
     incr evaluations;
+    Ape_obs.incr c_evals;
     let c = cost p in
     if Float.is_nan c then infinity else c
   in
@@ -79,14 +87,23 @@ let optimize ?(schedule = default_schedule) ?(stop_below = neg_infinity)
         if accept then begin
           current := candidate;
           incr accepted;
+          Ape_obs.incr c_accepts;
           if candidate < !best_cost then begin
             best_cost := candidate;
+            Ape_obs.incr c_improvements;
             best := Array.copy x
           end
         end
-        else x.(coord) <- old_value
+        else begin
+          Ape_obs.incr c_rejects;
+          x.(coord) <- old_value
+        end
       end
     done;
+    (* Temperature trace: the gauge holds the last completed stage's
+       temperature; the stage counter gives the trace length. *)
+    Ape_obs.incr c_stages;
+    Ape_obs.set g_temperature !temp;
     temp := !temp *. schedule.cooling
   done;
   ( !best,

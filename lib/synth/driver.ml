@@ -1,4 +1,5 @@
 module E = Ape_estimator
+module Obs = Ape_obs
 
 type result = {
   row : Opamp_problem.row;
@@ -87,20 +88,28 @@ let yield_check ?(sigmas = Ape_mc.Variation.default) process
 
 let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ~rng process
     ~mode row =
+  Obs.span "synth" @@ fun () ->
   let design =
-    match mode with
-    | Opamp_problem.Wide -> Opamp_problem.strawman_design process row
-    | Opamp_problem.Ape_centered _ -> Opamp_problem.ape_design process row
+    Obs.span "seed_design" (fun () ->
+        match mode with
+        | Opamp_problem.Wide -> Opamp_problem.strawman_design process row
+        | Opamp_problem.Ape_centered _ -> Opamp_problem.ape_design process row)
   in
-  let problem = Opamp_problem.build process ~mode row design in
+  let problem =
+    Obs.span "build" (fun () -> Opamp_problem.build process ~mode row design)
+  in
   let x0 = problem.Opamp_problem.start rng in
   (* Time-to-spec: stop once every requirement is met, KCL is satisfied
      and only the small objective pressure remains. *)
   let best, stats =
-    Anneal.optimize ~schedule ~stop_below:0.05 ~rng
-      ~dim:problem.Opamp_problem.dim ~cost:problem.Opamp_problem.cost ~x0 ()
+    Obs.span "anneal" (fun () ->
+        Anneal.optimize ~schedule ~stop_below:0.05 ~rng
+          ~dim:problem.Opamp_problem.dim ~cost:problem.Opamp_problem.cost ~x0
+          ())
   in
-  let best_netlist, measurement = problem.Opamp_problem.final best in
+  let best_netlist, measurement =
+    Obs.span "final_measure" (fun () -> problem.Opamp_problem.final best)
+  in
   let comment = comment_of row measurement in
   let get k =
     match measurement with Some m -> Cost.find m k | None -> None
@@ -111,7 +120,9 @@ let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ~rng process
     match mc with
     | None -> None
     | Some config ->
-      Some (yield_check ?sigmas:mc_sigmas process row best_netlist config)
+      Some
+        (Obs.span "yield_check" (fun () ->
+             yield_check ?sigmas:mc_sigmas process row best_netlist config))
   in
   {
     row;

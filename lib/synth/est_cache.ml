@@ -9,6 +9,10 @@ type node = {
   mutable n_next : node option;  (* toward least-recently-used *)
 }
 
+let c_hits = Ape_obs.counter "est_cache.hits"
+let c_misses = Ape_obs.counter "est_cache.misses"
+let c_evictions = Ape_obs.counter "est_cache.evictions"
+
 type t = {
   quantum : float;
   capacity : int;
@@ -57,10 +61,12 @@ let find_or_add t point f =
   match Hashtbl.find_opt t.table key with
   | Some n ->
     t.hits <- t.hits + 1;
+    Ape_obs.incr c_hits;
     unlink t n;
     push_front t n;
     n.n_value
   | None ->
+    Ape_obs.incr c_misses;
     let v = f () in
     let n = { n_key = key; n_value = v; n_prev = None; n_next = None } in
     Hashtbl.replace t.table key n;
@@ -68,6 +74,7 @@ let find_or_add t point f =
     if Hashtbl.length t.table > t.capacity then begin
       match t.lru with
       | Some victim ->
+        Ape_obs.incr c_evictions;
         unlink t victim;
         Hashtbl.remove t.table victim.n_key
       | None -> ()

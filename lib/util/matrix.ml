@@ -14,6 +14,13 @@ end
 
 exception Singular
 
+(* Factorisation counters, shared by both functor instantiations (the
+   per-analysis counters in Ape_spice give the real/complex breakdown).
+   Pure observation: nothing numeric flows through them. *)
+let c_lu_factor = Ape_obs.counter "matrix.lu_factor"
+let c_lu_factor_in_place = Ape_obs.counter "matrix.lu_factor_in_place"
+let c_csplit_factor = Ape_obs.counter "matrix.csplit_factor"
+
 module Make (F : FIELD) = struct
   type elt = F.t
   type t = { nr : int; nc : int; a : F.t array array }
@@ -121,6 +128,7 @@ module Make (F : FIELD) = struct
 
   let lu_factor m =
     if m.nr <> m.nc then invalid_arg "Matrix.lu_factor: not square";
+    Ape_obs.incr c_lu_factor;
     let n = m.nr in
     let a = Array.map Array.copy m.a in
     let perm = Array.make n 0 in
@@ -128,6 +136,7 @@ module Make (F : FIELD) = struct
 
   let lu_factor_in_place m perm =
     if m.nr <> m.nc then invalid_arg "Matrix.lu_factor_in_place: not square";
+    Ape_obs.incr c_lu_factor_in_place;
     let n = m.nr in
     if Array.length perm <> n then
       invalid_arg "Matrix.lu_factor_in_place: perm size";
@@ -234,6 +243,7 @@ module Csplit = struct
     let n = m.n and are = m.re and aim = m.im in
     if Array.length perm <> n then
       invalid_arg "Matrix.Csplit.factor_in_place: perm size";
+    Ape_obs.incr c_csplit_factor;
     for i = 0 to n - 1 do
       perm.(i) <- i
     done;

@@ -1,5 +1,9 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+let c_maps = Ape_obs.counter "pool.maps"
+let c_spawns = Ape_obs.counter "pool.domain_spawns"
+let c_tasks = Ape_obs.counter "pool.tasks"
+
 (* Fixed contiguous chunks rather than work stealing: task cost is
    near-uniform for the workloads this pool serves (same measurement on
    perturbed parameters, same solve on different frequencies), so static
@@ -16,6 +20,8 @@ let chunk_bounds ~jobs n =
 
 let map ~jobs n f =
   if n < 0 then invalid_arg "Pool.map: negative length";
+  Ape_obs.incr c_maps;
+  Ape_obs.add c_tasks n;
   if n = 0 then [||]
   else if jobs <= 1 || n = 1 then Array.init n f
   else begin
@@ -29,7 +35,14 @@ let map ~jobs n f =
     let workers =
       Array.init
         (Array.length chunks - 1)
-        (fun k -> Domain.spawn (fun () -> fill chunks.(k + 1)))
+        (fun k ->
+          Ape_obs.incr c_spawns;
+          Domain.spawn (fun () ->
+              (* Merge this worker's observability sink into the global
+                 accumulator whether or not its chunk raises, so joined
+                 parallel runs aggregate every recorded metric. *)
+              Fun.protect ~finally:Ape_obs.flush_domain (fun () ->
+                  fill chunks.(k + 1))))
     in
     (* Always join every worker, even if a chunk raises, so no domain
        outlives the call; the first exception is re-raised after. *)

@@ -522,6 +522,84 @@ let test_hierarchy_composition () =
          String.length n > 12 && String.sub n 0 12 = "op1.d1.tail.")
        names)
 
+(* ---------- level 4: ideal-vs-nonideal correction bounds ---------- *)
+
+let test_closed_loop_correction_bounds () =
+  let spec =
+    E.Closed_loop.spec ~bandwidth:20e3 (E.Closed_loop.Inverting { gain = 10. })
+  in
+  let d = E.Closed_loop.design proc spec in
+  let ideal = Float.abs d.E.Closed_loop.gain_ideal in
+  let est = Float.abs d.E.Closed_loop.gain_est in
+  Alcotest.(check bool)
+    "finite loop gain shrinks the ideal gain" true (est < ideal);
+  (* The sizing rule A >= 20*NG caps the static error at ~5 %. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "correction within 5%% (est %.3f of ideal %.1f)" est ideal)
+    true
+    (est >= 0.95 *. ideal);
+  (* UGF is sized at 1.3x NG*bandwidth, so the closed-loop bandwidth
+     must cover the spec with margin. *)
+  Alcotest.(check bool)
+    "closed-loop bandwidth covers the spec" true
+    (d.E.Closed_loop.bandwidth_est >= spec.E.Closed_loop.bandwidth);
+  Alcotest.(check bool)
+    "opamp gain respects the 20x noise-gain rule" true
+    (Float.abs d.E.Closed_loop.opamp.E.Opamp.gain
+    >= 20.
+       *. (1. +. 10.)
+       *. 0.99)
+
+let test_closed_loop_invalid () =
+  (match
+     E.Closed_loop.design proc
+       (E.Closed_loop.spec ~bandwidth:20e3
+          (E.Closed_loop.Non_inverting { gain = 0.5 }))
+   with
+  | _ -> Alcotest.fail "noise gain < 1 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match E.Sample_hold.design proc (E.Sample_hold.spec ~gain:0.5 ~bandwidth:20e3 ~sr:1e4 ()) with
+  | _ -> Alcotest.fail "S&H gain < 1 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_sample_hold_response_bounds () =
+  let s = E.Sample_hold.spec ~gain:2. ~bandwidth:20e3 ~sr:1e4 () in
+  let d = E.Sample_hold.design proc s in
+  let tau_switch = s.E.Sample_hold.r_on *. s.E.Sample_hold.c_hold in
+  Alcotest.(check bool)
+    "response covers the 1% switch acquisition" true
+    (d.E.Sample_hold.response_time_est > 4.6 *. tau_switch);
+  within_opt "non-inverting gain correction" 0.05 (Some s.E.Sample_hold.gain)
+    d.E.Sample_hold.perf.E.Perf.gain;
+  (* A slower switch can only lengthen the acquisition. *)
+  let slow =
+    E.Sample_hold.design proc
+      (E.Sample_hold.spec ~r_on:1e5 ~gain:2. ~bandwidth:20e3 ~sr:1e4 ())
+  in
+  Alcotest.(check bool)
+    "response monotone in switch resistance" true
+    (slow.E.Sample_hold.response_time_est
+    > d.E.Sample_hold.response_time_est)
+
+let test_audio_amp_correction () =
+  let d =
+    E.Audio_amp.design proc { E.Audio_amp.gain = 100.; bandwidth = 20e3 }
+  in
+  (* The trim divider is solved to land exactly on the spec gain... *)
+  Alcotest.(check (float 1e-9)) "trimmed gain is exact" 100.
+    d.E.Audio_amp.gain_est;
+  (* ...which requires the untrimmed core to exceed it. *)
+  Alcotest.(check bool)
+    "raw core gain above the trimmed target" true
+    (d.E.Audio_amp.opamp.E.Opamp.gain > 100.);
+  Alcotest.(check bool) "trim resistance positive" true (d.E.Audio_amp.r_trim > 0.);
+  Alcotest.(check bool)
+    "bandwidth estimate covers the spec" true
+    (d.E.Audio_amp.bandwidth_est >= 20e3);
+  match E.Audio_amp.design proc { E.Audio_amp.gain = 1.; bandwidth = 20e3 } with
+  | _ -> Alcotest.fail "gain <= 1 must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let prop_opamp_monotone_gm =
   QCheck.Test.make ~name:"higher UGF spec needs at least as much gm"
     ~count:12
@@ -585,6 +663,17 @@ let () =
           Alcotest.test_case "inverting amp" `Quick test_module_inverting;
           Alcotest.test_case "integrator" `Quick test_module_integrator;
           Alcotest.test_case "audio amp" `Quick test_module_audio;
+        ] );
+      ( "level4-corrections",
+        [
+          Alcotest.test_case "closed-loop finite-gain bound" `Quick
+            test_closed_loop_correction_bounds;
+          Alcotest.test_case "closed-loop invalid specs" `Quick
+            test_closed_loop_invalid;
+          Alcotest.test_case "sample&hold response bounds" `Quick
+            test_sample_hold_response_bounds;
+          Alcotest.test_case "audio amp trim correction" `Quick
+            test_audio_amp_correction;
         ] );
       ( "symbolic-equations",
         [

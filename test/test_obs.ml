@@ -1,0 +1,329 @@
+(* Tests for Ape_obs: registry semantics, span hierarchy, per-domain
+   sink merging through Pool, the metamorphic bit-identity guarantee
+   (observation on/off and jobs=1/N never change numeric results), the
+   JSON export, and the CLI exit-code contract on a singular deck. *)
+
+module Obs = Ape_obs
+module B = Ape_circuit.Builder
+module Dc = Ape_spice.Dc
+module Ac = Ape_spice.Ac
+module Pool = Ape_util.Pool
+
+(* Every test leaves the registry disabled so suites running after this
+   one see the default-off behaviour. *)
+let with_obs f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable f
+
+let counter_value snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.Obs.counters)
+
+(* ---------- registry ---------- *)
+
+let test_registry_idempotent () =
+  with_obs @@ fun () ->
+  let a = Obs.counter "test.obs.idem" in
+  let b = Obs.counter "test.obs.idem" in
+  Obs.incr a;
+  Obs.incr b;
+  Obs.add a 3;
+  let snap = Obs.snapshot () in
+  Alcotest.(check int)
+    "same name accumulates into one counter" 5
+    (counter_value snap "test.obs.idem")
+
+let test_registry_kind_mismatch () =
+  ignore (Obs.counter "test.obs.kind");
+  match Obs.gauge "test.obs.kind" with
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch"
+  | exception Invalid_argument _ -> ()
+
+let test_disabled_is_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  let c = Obs.counter "test.obs.off" in
+  let g = Obs.gauge "test.obs.off.g" in
+  let h = Obs.histogram "test.obs.off.h" in
+  Obs.incr c;
+  Obs.set g 1.0;
+  Obs.observe h 1e-3;
+  Alcotest.(check int)
+    "disabled recording leaves nothing" 0
+    (counter_value (Obs.snapshot ()) "test.obs.off");
+  Alcotest.(check bool)
+    "disabled gauge unwritten" true
+    (List.assoc_opt "test.obs.off.g" (Obs.snapshot ()).Obs.gauges = None);
+  Alcotest.(check bool)
+    "disabled histogram empty" true
+    (List.assoc_opt "test.obs.off.h" (Obs.snapshot ()).Obs.histograms = None)
+
+let test_reset_clears () =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.obs.reset" in
+  Obs.incr c;
+  Obs.reset ();
+  Alcotest.(check int)
+    "reset zeroes the accumulator" 0
+    (counter_value (Obs.snapshot ()) "test.obs.reset")
+
+let test_histogram_summary () =
+  with_obs @@ fun () ->
+  let h = Obs.histogram "test.obs.hist" in
+  let samples = [ 1e-6; 1e-5; 1e-4; 1e-4 ] in
+  List.iter (Obs.observe h) samples;
+  match List.assoc_opt "test.obs.hist" (Obs.snapshot ()).Obs.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+    let sum = List.fold_left ( +. ) 0. samples in
+    Alcotest.(check int) "count" (List.length samples) s.Obs.s_count;
+    Alcotest.(check (float 1e-12)) "sum" sum s.Obs.s_sum;
+    Alcotest.(check (float 1e-12))
+      "mean" (sum /. float_of_int (List.length samples)) s.Obs.s_mean;
+    Alcotest.(check (float 0.)) "min" 1e-6 s.Obs.s_min;
+    Alcotest.(check (float 0.)) "max" 1e-4 s.Obs.s_max;
+    Alcotest.(check bool) "std positive" true (s.Obs.s_std > 0.);
+    (* Three distinct decades -> three non-empty buckets, counts 1/1/2. *)
+    Alcotest.(check (list int))
+      "bucket counts" [ 1; 1; 2 ]
+      (List.map snd s.Obs.s_buckets)
+
+(* ---------- spans ---------- *)
+
+let test_span_hierarchy () =
+  with_obs @@ fun () ->
+  let r =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> 21) + Obs.span "inner" (fun () -> 21))
+  in
+  Alcotest.(check int) "span returns the thunk's value" 42 r;
+  let spans = (Obs.snapshot ()).Obs.spans in
+  let count path =
+    match List.assoc_opt path spans with
+    | Some s -> s.Obs.s_count
+    | None -> 0
+  in
+  Alcotest.(check int) "outer recorded once" 1 (count "outer");
+  Alcotest.(check int) "nested path recorded twice" 2 (count "outer/inner")
+
+let test_span_exception_safe () =
+  with_obs @@ fun () ->
+  (match Obs.span "boom" (fun () -> failwith "expected") with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  (* The stack must have been popped: a sibling span is not nested
+     under the failed one. *)
+  Obs.span "after" (fun () -> ());
+  let spans = (Obs.snapshot ()).Obs.spans in
+  Alcotest.(check bool)
+    "failed span still timed" true
+    (List.mem_assoc "boom" spans);
+  Alcotest.(check bool)
+    "stack popped on exception" true
+    (List.mem_assoc "after" spans)
+
+(* ---------- per-domain sinks and Pool merging ---------- *)
+
+let test_pool_merges_worker_sinks () =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.obs.pool" in
+  let results = Pool.map ~jobs:4 100 (fun i -> Obs.incr c; i * i) in
+  Alcotest.(check int) "map results intact" (99 * 99) results.(99);
+  Alcotest.(check int)
+    "all worker increments merged" 100
+    (counter_value (Obs.snapshot ()) "test.obs.pool")
+
+(* ---------- metamorphic bit-identity ---------- *)
+
+let golden_decks () =
+  let dir =
+    List.find Sys.file_exists
+      [ Filename.concat "golden" "decks"; Filename.concat "test" "golden/decks" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sp")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+let bits = Int64.bits_of_float
+
+let same_solution (a : Ac.solution) (b : Ac.solution) =
+  Array.length a.Ac.x = Array.length b.Ac.x
+  && Array.for_all2
+       (fun (p : Complex.t) (q : Complex.t) ->
+         Int64.equal (bits p.Complex.re) (bits q.Complex.re)
+         && Int64.equal (bits p.Complex.im) (bits q.Complex.im))
+       a.Ac.x b.Ac.x
+
+let deck_measurements file =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  let nl = Ape_circuit.Spice_parser.parse ~title:file text in
+  match Dc.solve nl with
+  | exception Dc.No_convergence _ -> None
+  | op ->
+    let p = Ac.prepare op in
+    Some
+      ( Array.copy op.Dc.x,
+        List.map (Ac.solve_prepared p) [ 0.; 1.; 1e3; 4.567e4; 1e6; 1e9 ] )
+
+let test_golden_decks_obs_on_off_identical () =
+  let verified = ref 0 in
+  List.iter
+    (fun file ->
+      Obs.disable ();
+      let off = deck_measurements file in
+      let on = with_obs (fun () -> deck_measurements file) in
+      match (off, on) with
+      | None, None -> ()
+      | Some (x_off, ac_off), Some (x_on, ac_on) ->
+        incr verified;
+        Alcotest.(check bool)
+          (file ^ ": DC solution bit-identical") true
+          (Array.for_all2
+             (fun a b -> Int64.equal (bits a) (bits b))
+             x_off x_on);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: AC at %g Hz bit-identical" file a.Ac.freq)
+              true (same_solution a b))
+          ac_off ac_on
+      | _ ->
+        Alcotest.fail (file ^ ": convergence differs with observation on"))
+    (golden_decks ());
+  Alcotest.(check bool) "verified several decks" true (!verified >= 3)
+
+let test_sweep_jobs_identical_with_obs_on () =
+  (* jobs=1 vs jobs=3 with recording enabled: worker sinks flush at the
+     join, and the numeric sweep stays bit-identical. *)
+  with_obs @@ fun () ->
+  let file = List.hd (golden_decks ()) in
+  let text = In_channel.with_open_text file In_channel.input_all in
+  let op = Dc.solve (Ape_circuit.Spice_parser.parse ~title:file text) in
+  let p = Ac.prepare op in
+  let grid = Ac.sweep_frequencies ~points_per_decade:7 ~fstart:1. ~fstop:1e8 () in
+  let s1 = Ac.sweep_prepared ~jobs:1 p grid in
+  let s3 = Ac.sweep_prepared ~jobs:3 p grid in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%g Hz: jobs=1 = jobs=3" a.Ac.freq)
+        true (same_solution a b))
+    s1.Ac.points s3.Ac.points;
+  Alcotest.(check bool)
+    "worker domains were spawned and merged" true
+    (counter_value (Obs.snapshot ()) "pool.domain_spawns" >= 2)
+
+(* ---------- JSON export ---------- *)
+
+let test_json_smoke () =
+  with_obs @@ fun () ->
+  Obs.incr (Obs.counter "test.obs.json");
+  Obs.set (Obs.gauge "test.obs.json.g") 2.5;
+  Obs.observe (Obs.histogram "test.obs.json.h") 1e-3;
+  Obs.span "test_json" (fun () -> ());
+  let doc = Obs.render_json (Obs.snapshot ()) in
+  let contains needle =
+    let nl = String.length needle and dl = String.length doc in
+    let rec go i = i + nl <= dl && (String.sub doc i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema tag" true (contains "\"schema\": \"ape-obs/1\"");
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (contains n))
+    [ "test.obs.json"; "test.obs.json.g"; "test.obs.json.h"; "test_json" ];
+  let balance opens closes =
+    String.fold_left
+      (fun acc c -> if c = opens then acc + 1 else if c = closes then acc - 1 else acc)
+      0 doc
+  in
+  Alcotest.(check int) "braces balanced" 0 (balance '{' '}');
+  Alcotest.(check int) "brackets balanced" 0 (balance '[' ']')
+
+(* ---------- CLI exit codes ---------- *)
+
+let ape_exe () =
+  (* dune runtest runs in test/, `dune exec test/test_obs.exe` (ci.sh)
+     in the project root. *)
+  List.find_opt Sys.file_exists
+    [
+      Filename.concat ".." (Filename.concat "bin" "ape.exe");
+      Filename.concat "bin" "ape.exe";
+      Filename.concat "_build" (Filename.concat "default" "bin/ape.exe");
+    ]
+
+let run_cli exe args =
+  Sys.command
+    (Filename.quote_command exe ~stdout:Filename.null ~stderr:Filename.null
+       args)
+
+let test_cli_singular_deck_exits_nonzero () =
+  match ape_exe () with
+  | None -> Alcotest.fail "bin/ape.exe not built"
+  | Some exe ->
+    let deck = Filename.temp_file "ape_singular" ".sp" in
+    Fun.protect ~finally:(fun () -> Sys.remove deck) @@ fun () ->
+    Out_channel.with_open_text deck (fun oc ->
+        output_string oc
+          "* two parallel sources disagree: no DC solution exists\n\
+           V1 a 0 5\n\
+           V2 a 0 3\n\
+           R1 a 0 1k\n\
+           .end\n");
+    Alcotest.(check int) "sim on singular deck exits 1" 1
+      (run_cli exe [ "sim"; deck ])
+
+let test_cli_valid_deck_exits_zero () =
+  match ape_exe () with
+  | None -> Alcotest.fail "bin/ape.exe not built"
+  | Some exe ->
+    let deck = Filename.temp_file "ape_rc" ".sp" in
+    Fun.protect ~finally:(fun () -> Sys.remove deck) @@ fun () ->
+    Out_channel.with_open_text deck (fun oc ->
+        output_string oc
+          "* rc divider\nV1 in 0 DC 1 AC 1\nR1 in out 1k\nC1 out 0 1u\n.end\n");
+    Alcotest.(check int) "sim on a healthy deck exits 0" 0
+      (run_cli exe [ "sim"; deck; "--out"; "out" ]);
+    Alcotest.(check int) "sim --trace exits 0" 0
+      (run_cli exe [ "sim"; deck; "--trace" ])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "idempotent by name" `Quick
+            test_registry_idempotent;
+          Alcotest.test_case "kind mismatch raises" `Quick
+            test_registry_kind_mismatch;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "reset clears" `Quick test_reset_clears;
+          Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "hierarchy paths" `Quick test_span_hierarchy;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "pool merges worker sinks" `Quick
+            test_pool_merges_worker_sinks;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "golden decks obs on/off" `Quick
+            test_golden_decks_obs_on_off_identical;
+          Alcotest.test_case "sweep jobs=1 vs 3, obs on" `Quick
+            test_sweep_jobs_identical_with_obs_on;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "json smoke" `Quick test_json_smoke ] );
+      ( "cli",
+        [
+          Alcotest.test_case "singular deck exits 1" `Quick
+            test_cli_singular_deck_exits_nonzero;
+          Alcotest.test_case "healthy deck exits 0" `Quick
+            test_cli_valid_deck_exits_zero;
+        ] );
+    ]

@@ -225,6 +225,97 @@ let test_transient_helpers () =
   let sr = Tr.max_slope result "out" in
   check_close "max slope = 1/tau" (1. /. tau) sr ~tol:0.05
 
+let test_transient_convergence_order () =
+  (* Timestep halving on the RC driven by a smooth sine (a step input
+     would clip trapezoidal to first order at the discontinuity): the
+     t=tau error must shrink ~2x for backward Euler (first order) and
+     ~4x for trapezoidal (second order).  With omega*tau = 1 and
+     v_out(0) = 0 the closed form is
+     v_out(t) = (sin wt - cos wt + e^{-t/tau}) / 2. *)
+  let tau = 1e-3 in
+  let w = 1. /. tau in
+  let freq = w /. (2. *. Float.pi) in
+  let exact t =
+    0.5 *. (Float.sin (w *. t) -. Float.cos (w *. t) +. Float.exp (-.t /. tau))
+  in
+  let error_at_tau ~method_ ~dt =
+    let op = Dc.solve (rc_lowpass ()) in
+    let r =
+      Tr.run ~method_
+        ~stimulus:[ ("V1", Tr.sine ~ampl:1. ~freq ()) ]
+        ~tstop:(1.2 *. tau) ~dt op
+    in
+    Float.abs (Tr.value_at r "out" tau -. exact tau)
+  in
+  let ratio method_ =
+    (* tau is an exact grid point for both steps: no interpolation
+       error pollutes the order estimate. *)
+    let coarse = error_at_tau ~method_ ~dt:(tau /. 50.) in
+    let fine = error_at_tau ~method_ ~dt:(tau /. 100.) in
+    Alcotest.(check bool) "errors above the Newton floor" true (fine > 1e-8);
+    coarse /. fine
+  in
+  let be = ratio Tr.Backward_euler in
+  Alcotest.(check bool)
+    (Printf.sprintf "BE halving ratio ~2 (got %.2f)" be)
+    true
+    (be > 1.6 && be < 2.5);
+  let trap = ratio Tr.Trapezoidal in
+  Alcotest.(check bool)
+    (Printf.sprintf "trapezoidal halving ratio ~4 (got %.2f)" trap)
+    true
+    (trap > 3.2 && trap < 5.)
+
+let test_transient_step_acceptance () =
+  (* Step-cutting regression, pinned through the transient.* counters.
+     A fast 4 V sine moves the source by up to ~2.5 V per step; Newton's
+     1 V update clamp then needs 4 iterations on the steep steps, so
+     max_newton=3 forces a cut there while the halved sub-steps (~1.25 V)
+     converge in exactly 3. *)
+  let deck () =
+    let b = B.create ~title:"cutter" in
+    B.vsource b ~p:"in" ~n:"0" 0.;
+    B.resistor b ~a:"in" ~b:"out" 1e3;
+    B.capacitor b ~a:"out" ~b:"0" 1e-9;
+    B.finish b
+  in
+  let counters () =
+    let run () =
+      let op = Dc.solve (deck ()) in
+      ignore
+        (Tr.run ~max_newton:3
+           ~stimulus:[ ("V1", Tr.sine ~ampl:4. ~freq:1e3 ()) ]
+           ~tstop:1e-3 ~dt:1e-4 op)
+    in
+    Ape_obs.enable ();
+    Ape_obs.reset ();
+    Fun.protect ~finally:Ape_obs.disable run;
+    let snap = Ape_obs.snapshot () in
+    let get name =
+      Option.value ~default:0 (List.assoc_opt name snap.Ape_obs.counters)
+    in
+    ( get "transient.steps",
+      get "transient.solves",
+      get "transient.step_cuts",
+      get "transient.newton_iters" )
+  in
+  let steps, solves, cuts, iters = counters () in
+  Alcotest.(check int) "requested top-level steps" 10 steps;
+  Alcotest.(check bool)
+    (Printf.sprintf "steep steps were cut (got %d cuts)" cuts)
+    true (cuts > 0);
+  (* Each cut replaces one failed solve with two sub-step solves, so the
+     controller's accounting always satisfies this identity. *)
+  Alcotest.(check int)
+    "solves = steps + 2*cuts" (steps + (2 * cuts)) solves;
+  Alcotest.(check bool) "iterations recorded" true (iters >= solves);
+  (* The controller is deterministic: a second run pins the same trace. *)
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    "acceptance trace reproducible"
+    ((steps, solves), (cuts, iters))
+    (let s, v, c, i = counters () in
+     ((s, v), (c, i)))
+
 let test_waveforms () =
   let p = Tr.pulse ~delay:1e-6 ~rise:1e-9 ~low:0. ~high:5. ~width:1e-6 ~period:4e-6 () in
   check_close "pulse before delay" 0. (p 0.);
@@ -889,6 +980,10 @@ let () =
           Alcotest.test_case "two-pole step analytic" `Quick
             test_transient_two_pole_step;
           Alcotest.test_case "helpers" `Quick test_transient_helpers;
+          Alcotest.test_case "timestep-halving order" `Quick
+            test_transient_convergence_order;
+          Alcotest.test_case "step acceptance pinned" `Quick
+            test_transient_step_acceptance;
           Alcotest.test_case "waveforms" `Quick test_waveforms;
         ] );
       ( "awe",

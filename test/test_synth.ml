@@ -338,6 +338,75 @@ let test_module_problem_adc_scaling () =
   Alcotest.(check (float 1e-9)) "adc area scale = 2^n - 1" 15.
     problem.S.Module_problem.area_scale
 
+(* ---------- relax ---------- *)
+
+let relax_divider () =
+  let b = Ape_circuit.Builder.create ~title:"relax_div" in
+  Ape_circuit.Builder.vsource b ~p:"vdd" ~n:"0" 5.;
+  Ape_circuit.Builder.resistor b ~a:"vdd" ~b:"mid" 1e3;
+  Ape_circuit.Builder.resistor b ~a:"mid" ~b:"0" 1e3;
+  Ape_circuit.Builder.finish b
+
+let test_relax_centered_zero_penalty () =
+  let nl = relax_divider () in
+  let t = S.Relax.create ~mode:`Centered ~vdd:5. nl in
+  Alcotest.(check bool) "has free nodes" true (S.Relax.n_free t >= 1);
+  (* `Centered` seeds the unknowns from a true DC solve, so Kirchhoff
+     holds exactly at the centre point. *)
+  let pen =
+    S.Relax.kcl_penalty t nl (S.Relax.x_engine t (S.Relax.centers_unit t))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "penalty ~0 at the DC solution (got %g)" pen)
+    true (pen < 1e-3);
+  let x = S.Relax.x_engine t (S.Relax.centers_unit t) in
+  Alcotest.(check (float 1e-2))
+    "centre decodes to the solved 2.5 V" 2.5
+    (S.Relax.node_voltage t x "mid")
+
+let test_relax_wide_mapping () =
+  let nl = relax_divider () in
+  let t = S.Relax.create ~mode:`Wide ~vdd:5. nl in
+  let n = S.Relax.n_free t in
+  let at u =
+    S.Relax.node_voltage t (S.Relax.x_engine t (Array.make n u)) "mid"
+  in
+  Alcotest.(check (float 1e-9)) "u=0 maps to 0 V" 0. (at 0.);
+  Alcotest.(check (float 1e-9)) "u=1 maps to vdd" 5. (at 1.);
+  Alcotest.(check (float 1e-9)) "u=0.5 maps to mid-rail" 2.5 (at 0.5);
+  Array.iter
+    (fun c -> Alcotest.(check (float 1e-9)) "wide centres mid-rail" 0.5 c)
+    (S.Relax.centers_unit t)
+
+let test_relax_fake_op_reads_back () =
+  let nl = relax_divider () in
+  let t = S.Relax.create ~mode:`Centered ~vdd:5. nl in
+  let u = S.Relax.centers_unit t in
+  let op = S.Relax.fake_op t nl (S.Relax.x_engine t u) in
+  Alcotest.(check (float 1e-9))
+    "fake op exposes the relaxed voltage"
+    (S.Relax.node_voltage t (S.Relax.x_engine t u) "mid")
+    (Ape_spice.Dc.voltage op "mid")
+
+let prop_relax_penalty_monotone =
+  (* The divider is linear, so the KCL residual grows linearly along any
+     ray from the (exact) centre: penalty(a*d) <= penalty(b*d) for
+     0 <= a <= b. *)
+  QCheck.Test.make ~name:"kcl penalty monotone along rays" ~count:100
+    QCheck.(
+      triple (float_range (-1.) 1.) (float_range 0. 0.45) (float_range 0. 1.))
+    (fun (d, b, frac) ->
+      let nl = relax_divider () in
+      let t = S.Relax.create ~mode:`Centered ~vdd:5. nl in
+      let centres = S.Relax.centers_unit t in
+      let point s =
+        S.Relax.x_engine t (Array.map (fun c -> c +. (s *. d)) centres)
+      in
+      let a = frac *. b in
+      let pa = S.Relax.kcl_penalty t nl (point a) in
+      let pb = S.Relax.kcl_penalty t nl (point b) in
+      pa >= 0. && pa <= pb +. 1e-9)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -379,6 +448,16 @@ let () =
           Alcotest.test_case "driver reports stats" `Quick
             test_driver_reports_cache_stats;
         ] );
+      ( "relax",
+        [
+          Alcotest.test_case "centered penalty ~0" `Quick
+            test_relax_centered_zero_penalty;
+          Alcotest.test_case "wide unit-cube mapping" `Quick
+            test_relax_wide_mapping;
+          Alcotest.test_case "fake op reads back" `Quick
+            test_relax_fake_op_reads_back;
+        ] );
+      qsuite "relax-properties" [ prop_relax_penalty_monotone ];
       ( "module-problems",
         [
           Alcotest.test_case "s&h ape-centered" `Quick
