@@ -1012,6 +1012,105 @@ let run_obs_overhead () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel tempering: sequential vs multi-chain wall time to reach    *)
+(* the same cost target on an opamp synthesis workload.  The target is *)
+(* the sequential engine's own final cost, so the question is exactly  *)
+(* "how much sooner does the tempered ensemble find something at least *)
+(* this good".  Emits BENCH_anneal.json; ci.sh gates on the speedup.   *)
+(* ------------------------------------------------------------------ *)
+
+let run_anneal () =
+  heading "Parallel tempering: time to the sequential engine's final cost";
+  let env_int name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  in
+  let row = List.nth (opamp_rows ()) (env_int "APE_BENCH_ROW" 6) in
+  let seed = env_int "APE_BENCH_SEED" 1 in
+  let chains = env_int "APE_BENCH_CHAINS" 4 in
+  let mode = S.Opamp_problem.Wide in
+  let schedule =
+    if fast_mode then S.Anneal.quick_schedule else S.Anneal.default_schedule
+  in
+  let design = S.Opamp_problem.strawman_design proc row in
+  (* A fresh problem per engine run: each gets its own cache, so the
+     before/after hit rates are honest. *)
+  let fresh () = S.Opamp_problem.build proc ~mode row design in
+  let sequential ~stop_below =
+    let problem = fresh () in
+    let rng = Ape_util.Rng.create seed in
+    let x0 = problem.S.Opamp_problem.start rng in
+    let _best, stats =
+      S.Anneal.optimize ~schedule ~stop_below ~rng
+        ~dim:problem.S.Opamp_problem.dim ~cost:problem.S.Opamp_problem.cost
+        ~x0 ()
+    in
+    (stats, problem.S.Opamp_problem.cache)
+  in
+  (* Pass 1: the full sequential anneal fixes the target cost. *)
+  let final_stats, _ = sequential ~stop_below:neg_infinity in
+  let target = final_stats.S.Anneal.best_cost *. 1.0001 in
+  pf "sequential final cost (%d evaluations): %.6f\n"
+    final_stats.S.Anneal.evaluations final_stats.S.Anneal.best_cost;
+  (* Pass 2: the same trajectory again, stopping the moment the target
+     is reached — the sequential time-to-target. *)
+  let seq_stats, seq_cache = sequential ~stop_below:target in
+  let seq_hit_rate = S.Est_cache.hit_rate seq_cache in
+  pf "sequential time-to-target: %.3f s (%d evaluations, cache %.1f%%)\n"
+    seq_stats.S.Anneal.seconds seq_stats.S.Anneal.evaluations
+    (100. *. seq_hit_rate);
+  (* Pass 3: the tempered ensemble races to the same target, all
+     replicas sharing one sharded cache. *)
+  let problem = fresh () in
+  let rng = Ape_util.Rng.create seed in
+  let _best, pt_stats =
+    S.Anneal.optimize_tempered ~schedule ~stop_below:target
+      ~tempering:{ S.Anneal.default_tempering with chains }
+      ~rng ~dim:problem.S.Opamp_problem.dim
+      ~cost:problem.S.Opamp_problem.cost
+      ~start:problem.S.Opamp_problem.start ()
+  in
+  let pt_cache = problem.S.Opamp_problem.cache in
+  let pt_hit_rate = S.Est_cache.hit_rate pt_cache in
+  let reached = pt_stats.S.Anneal.best_cost < target in
+  let speedup =
+    seq_stats.S.Anneal.seconds /. Float.max 1e-9 pt_stats.S.Anneal.seconds
+  in
+  pf "%d-chain time-to-target:   %.3f s (%d evaluations, cache %.1f%%, \
+      %d/%d exchanges accepted)\n"
+    chains pt_stats.S.Anneal.seconds pt_stats.S.Anneal.evaluations
+    (100. *. pt_hit_rate) pt_stats.S.Anneal.exchange_accepted
+    pt_stats.S.Anneal.exchanges;
+  pf "target %s, speedup %.2fx\n"
+    (if reached then "reached" else "NOT reached")
+    speedup;
+  let oc = open_out "BENCH_anneal.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"row\": %S,\n\
+    \  \"seed\": %d,\n\
+    \  \"chains\": %d,\n\
+    \  \"max_evaluations\": %d,\n\
+    \  \"target_cost\": %.6f,\n\
+    \  \"target_reached\": %b,\n\
+    \  \"seq_seconds\": %.4f,\n\
+    \  \"seq_evaluations\": %d,\n\
+    \  \"seq_cache_hit_rate\": %.4f,\n\
+    \  \"pt_seconds\": %.4f,\n\
+    \  \"pt_evaluations\": %d,\n\
+    \  \"pt_cache_hit_rate\": %.4f,\n\
+    \  \"pt_exchanges\": %d,\n\
+    \  \"pt_exchange_accepted\": %d,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    row.S.Opamp_problem.name seed chains schedule.S.Anneal.max_evaluations
+    target reached seq_stats.S.Anneal.seconds seq_stats.S.Anneal.evaluations
+    seq_hit_rate pt_stats.S.Anneal.seconds pt_stats.S.Anneal.evaluations
+    pt_hit_rate pt_stats.S.Anneal.exchanges pt_stats.S.Anneal.exchange_accepted
+    speedup;
+  close_out oc;
+  pf "wrote BENCH_anneal.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1107,6 +1206,7 @@ let all () =
   run_mc ();
   run_sweep ();
   run_obs_overhead ();
+  run_anneal ();
   run_micro ()
 
 let () =
@@ -1122,6 +1222,7 @@ let () =
   | "mc" -> run_mc ()
   | "sweep" -> run_sweep ()
   | "obs-overhead" -> run_obs_overhead ()
+  | "anneal" -> run_anneal ()
   | "micro" -> run_micro ()
   | "all" -> all ()
   | other ->

@@ -4,7 +4,9 @@
                 [--verify] [--netlist]
      ape module (lpf|bpf|sh|adc|dac|amp|comparator) [options] [--verify]
      ape synth --gain 200 --ugf 2meg [--mode standalone|ape] [--seed N]
-                [--mc-samples 200 --jobs 4]
+                [--chains 4 --jobs 4 --exchange-period 1]
+                [--cache-quantum 1e-2 --cache-capacity 8192]
+                [--mc-samples 200]
      ape mc opamp --gain 200 --ugf 2meg --samples 500 --jobs 4
                 [--level estimate|simulate] [--sigma-scale 1.5] [--hist gain]
      ape sim FILE.sp [--out NODE] [--ac]
@@ -257,13 +259,46 @@ let synth_cmd =
           ~doc:
             "Monte Carlo yield check on the synthesised design (0 = off).")
   in
-  let mc_jobs_arg =
+  let jobs_arg =
     Arg.(
       value & opt int 1
-      & info [ "jobs" ] ~doc:"Worker domains for the yield check.")
+      & info [ "jobs" ]
+          ~doc:
+            "Worker domains: annealing chains run on a persistent pool of \
+             this many domains, and the yield check fans out over the same \
+             count.  Results are independent of the value.")
+  in
+  let chains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chains" ]
+          ~doc:
+            "Parallel-tempering replicas (1 = classic sequential \
+             annealing).")
+  in
+  let exchange_period_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "exchange-period" ]
+          ~doc:"Cooling stages between replica-exchange sweeps.")
+  in
+  let cache_quantum_arg =
+    Arg.(
+      value & opt (some number_conv) None
+      & info [ "cache-quantum" ]
+          ~doc:
+            "Estimate-cache grid size on unit-cube coordinates (default \
+             1e-2).")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-capacity" ]
+          ~doc:"Estimate-cache entries across all shards (default 8192).")
   in
   let run gain ugf ibias cl buffer zout wilson cascode mode seed area
-      mc_samples mc_jobs trace =
+      mc_samples jobs chains exchange_period cache_quantum cache_capacity
+      trace =
     with_trace trace @@ fun () ->
     guard @@ fun () ->
     let buffer, bias, zout = topology buffer wilson cascode zout in
@@ -295,17 +330,35 @@ let synth_cmd =
     let rng = Ape_util.Rng.create seed in
     let mc =
       if mc_samples <= 0 then None
-      else Some { Mc.Run.samples = mc_samples; jobs = mc_jobs; seed }
+      else Some { Mc.Run.samples = mc_samples; jobs; seed }
     in
-    let r = S.Driver.run ?mc ~rng proc ~mode row in
+    let r =
+      S.Driver.run ?mc ~chains ~jobs ~exchange_period ?cache_quantum
+        ?cache_capacity ~rng proc ~mode row
+    in
     pf "%s\n" r.S.Driver.comment;
-    pf "gain=%s ugf=%s area=%.0f um^2 power=%s (%d evaluations, %.2f s)\n"
+    pf "gain=%s ugf=%s area=%.0f um^2 power=%s (%d evaluations)\n"
       (match r.S.Driver.gain with Some g -> Printf.sprintf "%.1f" g | None -> "-")
       (match r.S.Driver.ugf with Some u -> eng u | None -> "-")
       (r.S.Driver.area /. 1e-12)
       (eng r.S.Driver.power)
-      r.S.Driver.stats.S.Anneal.evaluations r.S.Driver.stats.S.Anneal.seconds;
+      r.S.Driver.stats.S.Anneal.evaluations;
+    if r.S.Driver.stats.S.Anneal.chains > 1 then
+      pf "chains=%d exchanges=%d/%d accepted\n"
+        r.S.Driver.stats.S.Anneal.chains
+        r.S.Driver.stats.S.Anneal.exchange_accepted
+        r.S.Driver.stats.S.Anneal.exchanges;
     List.iter (fun (k, v) -> pf "  %-12s %s\n" k (eng v)) r.S.Driver.best_values;
+    (* Wall time and cache statistics depend on scheduling and cannot
+       be bit-identical across --jobs; keep them on their own prefixed
+       lines so the CI determinism gate can filter them. *)
+    pf "time: %.2f s\n" r.S.Driver.stats.S.Anneal.seconds;
+    pf "cache: %d/%d hits (%.1f%%)\n" r.S.Driver.cache_hits
+      r.S.Driver.cache_lookups
+      (if r.S.Driver.cache_lookups = 0 then 0.
+       else
+         100. *. float_of_int r.S.Driver.cache_hits
+         /. float_of_int r.S.Driver.cache_lookups);
     (match r.S.Driver.yield with
     | None -> ()
     | Some report ->
@@ -318,7 +371,8 @@ let synth_cmd =
     Term.(
       const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
       $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg
-      $ mc_samples_arg $ mc_jobs_arg $ trace_arg)
+      $ mc_samples_arg $ jobs_arg $ chains_arg $ exchange_period_arg
+      $ cache_quantum_arg $ cache_capacity_arg $ trace_arg)
 
 (* ---------- ape mc ---------- *)
 

@@ -27,7 +27,10 @@ type stats = {
   accepted : int;
   best_cost : float;
   initial_cost : float;
-  seconds : float;
+  seconds : float;  (** monotonic-clock wall time *)
+  chains : int;  (** 1 for {!optimize} *)
+  exchanges : int;  (** replica-exchange attempts *)
+  exchange_accepted : int;
 }
 
 val optimize :
@@ -45,3 +48,57 @@ val optimize :
     clamped into the cube.  [stop_below] terminates the run as soon as
     the best cost drops under the threshold (time-to-spec
     measurements). *)
+
+(** {1 Parallel tempering}
+
+    Replica exchange (Swendsen–Wang / Geyer): [chains] Metropolis
+    replicas anneal the same cost concurrently, replica [i] at
+    [ladder^i] times the cold chain's temperature, all cooling by the
+    same geometric schedule.  Every [exchange_period] stages, adjacent
+    replicas attempt a state swap with the detailed-balance probability
+    [min(1, exp((1/T_cold − 1/T_hot)·(E_cold − E_hot)))] — hot chains
+    tunnel between basins and hand good configurations down the ladder,
+    which is what makes multi-chain annealing more than K independent
+    restarts. *)
+
+type tempering = {
+  chains : int;  (** number of replicas, ≥ 1 *)
+  exchange_period : int;  (** stages between exchange sweeps, ≥ 1 *)
+  ladder : float;  (** temperature ratio between adjacent replicas, > 1 *)
+}
+
+val default_tempering : tempering
+(** 4 chains, exchange every stage, ladder 1.6. *)
+
+val exchange_probability :
+  t_cold:float -> t_hot:float -> e_cold:float -> e_hot:float -> float
+(** The replica-exchange acceptance probability above.  Total when the
+    hot replica has found the lower cost; 0 when both energies are
+    infinite.  Raises [Invalid_argument] on non-positive temperatures. *)
+
+val optimize_tempered :
+  ?schedule:schedule ->
+  ?stop_below:float ->
+  ?tempering:tempering ->
+  ?jobs:int ->
+  rng:Ape_util.Rng.t ->
+  dim:int ->
+  cost:(float array -> float) ->
+  start:(Ape_util.Rng.t -> float array) ->
+  unit ->
+  float array * stats
+(** Multi-chain variant of {!optimize}.  [start] produces each
+    replica's starting point from that replica's private RNG stream
+    (random-start problems give every chain a different basin; a
+    constant function pins them all to one point).  [cost] must be
+    thread-safe: chains evaluate it concurrently from [jobs] domains
+    (a persistent {!Ape_util.Pool}; [jobs = 1] runs every chain on the
+    calling domain).  [max_evaluations] and [stop_below] are enforced
+    per chain at move granularity and globally at round barriers.
+
+    {b Determinism:} for a fixed [rng] seed, [chains] and schedule, the
+    returned point and every stats field except [seconds] are
+    bit-identical for any [jobs] — replicas draw from per-chain
+    {!Ape_util.Rng.split_n} streams, exchange decisions from their own
+    stream on the calling domain, and a shared {!Est_cache} can only
+    memoise values that are pure functions of the cache key. *)

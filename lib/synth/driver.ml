@@ -86,8 +86,9 @@ let yield_check ?(sigmas = Ape_mc.Variation.default) process
   in
   Ape_mc.Run.run ~checks config ~measure
 
-let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ~rng process
-    ~mode row =
+let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ?chains
+    ?(jobs = 1) ?(exchange_period = 1) ?cache_quantum ?cache_capacity ~rng
+    process ~mode row =
   Obs.span "synth" @@ fun () ->
   let design =
     Obs.span "seed_design" (fun () ->
@@ -96,16 +97,27 @@ let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ~rng process
         | Opamp_problem.Ape_centered _ -> Opamp_problem.ape_design process row)
   in
   let problem =
-    Obs.span "build" (fun () -> Opamp_problem.build process ~mode row design)
+    Obs.span "build" (fun () ->
+        Opamp_problem.build ?cache_quantum ?cache_capacity process ~mode row
+          design)
   in
-  let x0 = problem.Opamp_problem.start rng in
   (* Time-to-spec: stop once every requirement is met, KCL is satisfied
      and only the small objective pressure remains. *)
+  let stop_below = 0.05 in
   let best, stats =
     Obs.span "anneal" (fun () ->
-        Anneal.optimize ~schedule ~stop_below:0.05 ~rng
-          ~dim:problem.Opamp_problem.dim ~cost:problem.Opamp_problem.cost ~x0
-          ())
+        match chains with
+        | Some k when k > 1 ->
+          Anneal.optimize_tempered ~schedule ~stop_below
+            ~tempering:{ Anneal.default_tempering with chains = k; exchange_period }
+            ~jobs ~rng ~dim:problem.Opamp_problem.dim
+            ~cost:problem.Opamp_problem.cost
+            ~start:problem.Opamp_problem.start ()
+        | _ ->
+          let x0 = problem.Opamp_problem.start rng in
+          Anneal.optimize ~schedule ~stop_below ~rng
+            ~dim:problem.Opamp_problem.dim ~cost:problem.Opamp_problem.cost
+            ~x0 ())
   in
   let best_netlist, measurement =
     Obs.span "final_measure" (fun () -> problem.Opamp_problem.final best)

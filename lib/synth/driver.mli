@@ -24,6 +24,11 @@ val run :
   ?schedule:Anneal.schedule ->
   ?mc:Ape_mc.Run.config ->
   ?mc_sigmas:Ape_mc.Variation.sigmas ->
+  ?chains:int ->
+  ?jobs:int ->
+  ?exchange_period:int ->
+  ?cache_quantum:float ->
+  ?cache_capacity:int ->
   rng:Ape_util.Rng.t ->
   Ape_process.Process.t ->
   mode:Opamp_problem.mode ->
@@ -34,7 +39,14 @@ val run :
     classify the outcome.  With [?mc], additionally run a post-synthesis
     Monte Carlo yield check on the best candidate: its sized netlist is
     re-measured on [mc.samples] perturbed dies ([mc_sigmas] defaults to
-    {!Ape_mc.Variation.default}) against the row's gain/UGF spec. *)
+    {!Ape_mc.Variation.default}) against the row's gain/UGF spec.
+
+    [chains > 1] switches the search to
+    {!Anneal.optimize_tempered} — [chains] tempered replicas over a
+    persistent domain pool of [jobs] workers (default 1), exchanging
+    every [exchange_period] stages (default 1) and sharing the
+    problem's {!Est_cache} ([cache_quantum]/[cache_capacity] tune it).
+    For a fixed seed the result is bit-identical for any [jobs]. *)
 
 val yield_check :
   ?sigmas:Ape_mc.Variation.sigmas ->

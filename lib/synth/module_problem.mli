@@ -46,13 +46,17 @@ val ape_module :
 (** The APE pass for the module. *)
 
 val build :
+  ?cache_quantum:float ->
+  ?cache_capacity:int ->
   rng:Ape_util.Rng.t ->
   Ape_process.Process.t ->
   mode:mode ->
   area_max:float ->
   kind ->
   problem
-(** [area_max] is the gate-area budget (of the full module), m². *)
+(** [area_max] is the gate-area budget (of the full module), m².
+    [cache_quantum]/[cache_capacity] tune the {!Est_cache} behind
+    [cost] (defaults: {!Est_cache.default_quantum}, 8192 entries). *)
 
 type result = {
   kind : kind;
@@ -68,9 +72,17 @@ type result = {
 
 val run :
   ?schedule:Anneal.schedule ->
+  ?chains:int ->
+  ?jobs:int ->
+  ?exchange_period:int ->
+  ?cache_quantum:float ->
+  ?cache_capacity:int ->
   rng:Ape_util.Rng.t ->
   Ape_process.Process.t ->
   mode:mode ->
   area_max:float ->
   kind ->
   result
+(** [chains > 1] uses {!Anneal.optimize_tempered} over [jobs] pool
+    workers (exchange every [exchange_period] stages); see
+    {!Driver.run} for the determinism contract. *)

@@ -209,7 +209,8 @@ let size_template (process : Proc.t) ~mode base design =
         (Template.Res_value [ "d1.tail.R1" ]);
     ]
 
-let build (process : Proc.t) ~mode row design =
+let build ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t) ~mode row
+    design =
   let vdd = process.Proc.vdd in
   let base = testbench process row design in
   let template = Template.make base (size_template process ~mode base design) in
@@ -271,10 +272,13 @@ let build (process : Proc.t) ~mode row design =
     in
     Cost.evaluate cost_model measurement +. (3. *. kcl)
   in
-  let cache = Est_cache.create ~capacity:8192 () in
-  let cost point =
-    Est_cache.find_or_add cache point (fun () -> evaluate_point point)
+  let cache =
+    Est_cache.create ?quantum:cache_quantum ~capacity:cache_capacity ()
   in
+  (* The callback evaluates the quantized cell's representative point,
+     not [point] itself, so the memoised value is a pure function of
+     the key — a determinism requirement once chains share the cache. *)
+  let cost point = Est_cache.find_or_add cache point evaluate_point in
   let start rng =
     match mode with
     | Wide -> Array.init dim (fun _ -> Ape_util.Rng.uniform rng 0. 1.)

@@ -63,11 +63,15 @@ type problem = {
 }
 
 val build :
+  ?cache_quantum:float ->
+  ?cache_capacity:int ->
   Ape_process.Process.t ->
   mode:mode ->
   row ->
   Ape_estimator.Opamp.design ->
   problem
+(** [cache_quantum]/[cache_capacity] tune the {!Est_cache} behind
+    [cost] (defaults: {!Est_cache.default_quantum}, 8192 entries). *)
 
 val measure_netlist :
   ?out_dc_target:float ->

@@ -1,0 +1,9 @@
+(* CLOCK_MONOTONIC via bechamel's C stub: immune to wall-clock jumps
+   (NTP slews, manual resets), which matters for durations reported in
+   anneal stats and bench artifacts. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_s since = now_s () -. since

@@ -265,7 +265,7 @@ let test_comment_classification () =
 let test_est_cache_hits_and_quantization () =
   let cache = S.Est_cache.create ~quantum:1e-3 ~capacity:8 () in
   let evals = ref 0 in
-  let f v = fun () -> incr evals; v in
+  let f v = fun _rep -> incr evals; v in
   Alcotest.(check (float 0.)) "miss computes" 1.
     (S.Est_cache.find_or_add cache [| 0.5; 0.5 |] (f 1.));
   Alcotest.(check (float 0.)) "exact revisit hits" 1.
@@ -282,8 +282,10 @@ let test_est_cache_hits_and_quantization () =
   Alcotest.(check (float 1e-9)) "hit rate" 0.5 (S.Est_cache.hit_rate cache)
 
 let test_est_cache_lru_eviction () =
-  let cache = S.Est_cache.create ~quantum:1e-3 ~capacity:2 () in
-  let const v () = v in
+  (* One shard so the recency list spans all keys, as in the classic
+     LRU this test pins down. *)
+  let cache = S.Est_cache.create ~quantum:1e-3 ~shards:1 ~capacity:2 () in
+  let const v _rep = v in
   ignore (S.Est_cache.find_or_add cache [| 0.1 |] (const 1.));
   ignore (S.Est_cache.find_or_add cache [| 0.2 |] (const 2.));
   (* Touch 0.1 so 0.2 becomes least recently used... *)
@@ -407,6 +409,157 @@ let prop_relax_penalty_monotone =
       let pb = S.Relax.kcl_penalty t nl (point b) in
       pa >= 0. && pa <= pb +. 1e-9)
 
+(* ---------- parallel tempering ---------- *)
+
+(* A multimodal test landscape: two basins, the deeper one narrow.
+   Cheap to evaluate, so determinism properties can afford many runs. *)
+let two_basin x =
+  let d2 c =
+    Array.fold_left (fun acc v -> acc +. F.sq (v -. c)) 0. x
+    /. float_of_int (Array.length x)
+  in
+  Float.min (0.5 +. d2 0.2) (40. *. d2 0.85)
+
+let test_exchange_probability_rule () =
+  let p = S.Anneal.exchange_probability in
+  Alcotest.(check (float 1e-12))
+    "hot replica strictly better swaps surely" 1.
+    (p ~t_cold:0.1 ~t_hot:1.0 ~e_cold:5.0 ~e_hot:1.0);
+  Alcotest.(check (float 1e-12))
+    "equal energies swap surely" 1.
+    (p ~t_cold:0.1 ~t_hot:1.0 ~e_cold:2.0 ~e_hot:2.0);
+  (* Cold replica better: p = exp((1/Tc - 1/Th)(Ec - Eh)) < 1. *)
+  let expected = Float.exp ((10. -. 1.) *. (1.0 -. 3.0)) in
+  Alcotest.(check (float 1e-12))
+    "cold better: detailed-balance factor" expected
+    (p ~t_cold:0.1 ~t_hot:1.0 ~e_cold:1.0 ~e_hot:3.0);
+  Alcotest.(check (float 1e-12))
+    "both unevaluable: no swap" 0.
+    (p ~t_cold:0.1 ~t_hot:1.0 ~e_cold:infinity ~e_hot:infinity);
+  Alcotest.(check (float 1e-12))
+    "hot unevaluable: no swap" 0.
+    (p ~t_cold:0.1 ~t_hot:1.0 ~e_cold:1.0 ~e_hot:infinity);
+  Alcotest.(check (float 1e-12))
+    "cold unevaluable: certain swap" 1.
+    (p ~t_cold:0.1 ~t_hot:1.0 ~e_cold:infinity ~e_hot:1.0);
+  Alcotest.check_raises "non-positive temperature"
+    (Invalid_argument "Anneal.exchange_probability: non-positive temperature")
+    (fun () -> ignore (p ~t_cold:0. ~t_hot:1. ~e_cold:1. ~e_hot:1.))
+
+let tempered_run ~seed ~jobs ~chains =
+  let rng = Ape_util.Rng.create seed in
+  let cache = S.Est_cache.create ~capacity:512 () in
+  let cost p = S.Est_cache.find_or_add cache p two_basin in
+  S.Anneal.optimize_tempered ~schedule:S.Anneal.quick_schedule
+    ~tempering:{ S.Anneal.default_tempering with chains }
+    ~jobs ~rng ~dim:4 ~cost
+    ~start:(fun rng -> Array.init 4 (fun _ -> Ape_util.Rng.uniform rng 0. 1.))
+    ()
+
+let test_tempered_finds_minimum () =
+  let best, stats = tempered_run ~seed:3 ~jobs:2 ~chains:4 in
+  Alcotest.(check bool) "found a basin" true (stats.S.Anneal.best_cost < 0.6);
+  Alcotest.(check int) "chains recorded" 4 stats.S.Anneal.chains;
+  Alcotest.(check bool) "exchanges attempted" true
+    (stats.S.Anneal.exchanges > 0);
+  Alcotest.(check int) "dim preserved" 4 (Array.length best)
+
+let prop_tempered_jobs_deterministic =
+  (* The tentpole determinism contract: same seed, same chain count =>
+     bit-identical best vector and stats for any worker count, shared
+     sharded cache included. *)
+  QCheck.Test.make ~name:"tempered result independent of jobs" ~count:12
+    QCheck.(pair (int_range 1 1000) (int_range 2 4))
+    (fun (seed, chains) ->
+      let strip (best, stats) =
+        (best, { stats with S.Anneal.seconds = 0. })
+      in
+      let r1 = strip (tempered_run ~seed ~jobs:1 ~chains) in
+      let r2 = strip (tempered_run ~seed ~jobs:2 ~chains) in
+      let r4 = strip (tempered_run ~seed ~jobs:4 ~chains) in
+      r1 = r2 && r2 = r4)
+
+(* ---------- sharded cache: hardening and concurrency ---------- *)
+
+let test_est_cache_nonfinite_keys () =
+  let cache = S.Est_cache.create ~quantum:1e-3 ~capacity:32 () in
+  let seen = ref [] in
+  let record v rep =
+    seen := Array.copy rep :: !seen;
+    v
+  in
+  (* Each pathology gets its own cell... *)
+  Alcotest.(check (float 0.)) "nan" 1.
+    (S.Est_cache.find_or_add cache [| Float.nan |] (record 1.));
+  Alcotest.(check (float 0.)) "+inf" 2.
+    (S.Est_cache.find_or_add cache [| infinity |] (record 2.));
+  Alcotest.(check (float 0.)) "-inf" 3.
+    (S.Est_cache.find_or_add cache [| neg_infinity |] (record 3.));
+  (* ...and revisiting one hits instead of re-evaluating. *)
+  Alcotest.(check (float 0.)) "nan revisit hits" 1.
+    (S.Est_cache.find_or_add cache [| Float.nan |] (record 99.));
+  Alcotest.(check int) "three evaluations" 3 (List.length !seen);
+  (* The representative point hands the evaluator back the non-finite
+     value the key stands for. *)
+  (match !seen with
+  | [ [| ni |]; [| pi |]; [| na |] ] ->
+    Alcotest.(check bool) "nan representative" true (Float.is_nan na);
+    Alcotest.(check (float 0.)) "+inf representative" infinity pi;
+    Alcotest.(check (float 0.)) "-inf representative" neg_infinity ni
+  | _ -> Alcotest.fail "expected three recorded representatives");
+  (* Out-of-int-range magnitudes clamp onto the ±inf cells instead of
+     hitting undefined int_of_float behaviour. *)
+  Alcotest.(check (float 0.)) "huge positive clamps to the +inf cell" 2.
+    (S.Est_cache.find_or_add cache [| 1e300 |] (fun _ -> 99.));
+  Alcotest.(check (float 0.)) "huge negative clamps to the -inf cell" 3.
+    (S.Est_cache.find_or_add cache [| -1e300 |] (fun _ -> 99.))
+
+let test_est_cache_representative_evaluation () =
+  (* The callback sees the cell's representative, not the raw point:
+     this is what makes the stored value a pure function of the key. *)
+  let cache = S.Est_cache.create ~quantum:1e-2 ~capacity:32 () in
+  let got = ref [||] in
+  ignore
+    (S.Est_cache.find_or_add cache [| 0.5434; 0.2965 |] (fun rep ->
+         got := Array.copy rep;
+         0.));
+  Alcotest.(check (float 1e-12)) "snapped x" 0.54 !got.(0);
+  Alcotest.(check (float 1e-12)) "snapped y" 0.30 !got.(1)
+
+let test_est_cache_concurrent_smoke () =
+  (* Four domains hammer one sharded cache with overlapping keys: every
+     returned value must equal the pure function of the snapped point,
+     and the shards' books must stay consistent. *)
+  let cache = S.Est_cache.create ~quantum:1e-3 ~shards:4 ~capacity:64 () in
+  let f rep = (10. *. rep.(0)) +. rep.(1) in
+  let worker seed () =
+    let rng = Ape_util.Rng.create seed in
+    let ok = ref true in
+    for _ = 1 to 2_000 do
+      let p =
+        [| Ape_util.Rng.uniform rng 0. 0.05; Ape_util.Rng.uniform rng 0. 0.05 |]
+      in
+      let v = S.Est_cache.find_or_add cache p f in
+      let expected =
+        f (Array.map (fun x -> Float.round (x /. 1e-3) *. 1e-3) p)
+      in
+      if v <> expected then ok := false
+    done;
+    !ok
+  in
+  let domains = Array.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  let all_ok = Array.for_all (fun d -> Domain.join d) domains in
+  Alcotest.(check bool) "every value is the pure function of its key" true
+    all_ok;
+  Alcotest.(check bool) "length within capacity" true
+    (S.Est_cache.length cache <= S.Est_cache.capacity cache);
+  Alcotest.(check int) "lookups all accounted" 8_000
+    (S.Est_cache.lookups cache);
+  Alcotest.(check bool) "keyspace overflow forced evictions" true
+    (S.Est_cache.evictions cache > 0);
+  Alcotest.(check bool) "hits within lookups" true
+    (S.Est_cache.hits cache <= S.Est_cache.lookups cache)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -440,11 +593,25 @@ let () =
           Alcotest.test_case "comment classification" `Quick
             test_comment_classification;
         ] );
+      ( "tempering",
+        [
+          Alcotest.test_case "exchange acceptance rule" `Quick
+            test_exchange_probability_rule;
+          Alcotest.test_case "finds minimum" `Quick
+            test_tempered_finds_minimum;
+        ] );
+      qsuite "tempering-properties" [ prop_tempered_jobs_deterministic ];
       ( "est-cache",
         [
           Alcotest.test_case "hits and quantization" `Quick
             test_est_cache_hits_and_quantization;
           Alcotest.test_case "lru eviction" `Quick test_est_cache_lru_eviction;
+          Alcotest.test_case "non-finite hardening" `Quick
+            test_est_cache_nonfinite_keys;
+          Alcotest.test_case "representative evaluation" `Quick
+            test_est_cache_representative_evaluation;
+          Alcotest.test_case "concurrent smoke" `Quick
+            test_est_cache_concurrent_smoke;
           Alcotest.test_case "driver reports stats" `Quick
             test_driver_reports_cache_stats;
         ] );

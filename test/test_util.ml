@@ -397,6 +397,96 @@ let prop_poly_of_roots_vanishes =
       let p = Poly.of_real_roots roots in
       List.for_all (fun r -> Float.abs (Poly.eval p r) < 1e-9) roots)
 
+(* ---------- Pool ---------- *)
+
+module Pool = Ape_util.Pool
+
+exception Boom of int
+
+(* A raise inside a submitted thunk must re-raise at await — on the
+   caller, not the worker — and must not wedge the pool: later tasks
+   and the shutdown join still complete. *)
+let test_pool_exception_propagation () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      let bad = Pool.submit pool (fun () -> raise (Boom 42)) in
+      let good = Pool.submit pool (fun () -> 17) in
+      Alcotest.check_raises "thunk exception re-raised at await" (Boom 42)
+        (fun () -> ignore (Pool.await bad));
+      Alcotest.(check int) "pool still serves tasks" 17 (Pool.await good));
+  (* with_pool returning at all is the no-deadlock assertion: shutdown
+     joined both workers after a task raised. *)
+  Alcotest.(check pass) "join after raise" () ()
+
+let test_pool_map_exception_no_deadlock () =
+  Alcotest.check_raises "map re-raises after joining all chunks" (Boom 3)
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:3 64 (fun i -> if i = 3 then raise (Boom 3) else i)))
+
+let test_pool_inline_when_no_workers () =
+  Pool.with_pool ~workers:0 (fun pool ->
+      Alcotest.(check int) "zero workers" 0 (Pool.size pool);
+      let t = Pool.submit pool (fun () -> 5) in
+      Alcotest.(check int) "inline execution" 5 (Pool.await t))
+
+let test_pool_submit_after_shutdown () =
+  let pool = Pool.create ~workers:1 in
+  Pool.shutdown pool;
+  Alcotest.check_raises "submit refused"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())))
+
+let test_pool_cancellation () =
+  (* One worker held inside a task while more work queues up: shutdown
+     with cancel_pending completes the queued task with Cancelled even
+     though no worker ever picks it up. *)
+  let started = Semaphore.Binary.make false in
+  let gate = Semaphore.Binary.make false in
+  let pool = Pool.create ~workers:1 in
+  let blocker =
+    Pool.submit pool (fun () ->
+        Semaphore.Binary.release started;
+        Semaphore.Binary.acquire gate)
+  in
+  (* Only submit the victim once the single worker is provably inside
+     the blocker, so it must stay queued. *)
+  Semaphore.Binary.acquire started;
+  let queued = Pool.submit pool (fun () -> 1) in
+  let closer =
+    Domain.spawn (fun () -> Pool.shutdown ~cancel_pending:true pool)
+  in
+  (* shutdown drains the queue before joining workers, so this await
+     wakes with Cancelled while the worker is still blocked. *)
+  (match Pool.await queued with
+  | _ -> Alcotest.fail "queued task should have been cancelled"
+  | exception Pool.Cancelled -> ());
+  Semaphore.Binary.release gate;
+  Domain.join closer;
+  Pool.await blocker;
+  Alcotest.(check pass) "cancelled cleanly" () ()
+
+let test_pool_reuse_across_rounds () =
+  (* The persistent pool serves many submission rounds; results arrive
+     in submission order per round. *)
+  Pool.with_pool ~workers:2 (fun pool ->
+      for round = 0 to 4 do
+        let tasks =
+          Array.init 8 (fun i -> Pool.submit pool (fun () -> (round * 8) + i))
+        in
+        Array.iteri
+          (fun i t ->
+            Alcotest.(check int) "round result" ((round * 8) + i)
+              (Pool.await t))
+          tasks
+      done)
+
+let prop_pool_map_jobs_invariant =
+  QCheck.Test.make ~name:"map results independent of jobs" ~count:50
+    QCheck.(pair (int_range 0 40) (int_range 1 6))
+    (fun (n, jobs) ->
+      let f i = (i * i) + 1 in
+      Pool.map ~jobs n f = Array.init n f)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -458,6 +548,21 @@ let () =
         ] );
       qsuite "rng-properties"
         [ prop_rng_split_independent; prop_rng_split_n_independent ];
+      ( "pool",
+        [
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "map raise no deadlock" `Quick
+            test_pool_map_exception_no_deadlock;
+          Alcotest.test_case "inline with 0 workers" `Quick
+            test_pool_inline_when_no_workers;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_pool_submit_after_shutdown;
+          Alcotest.test_case "cancellation" `Quick test_pool_cancellation;
+          Alcotest.test_case "reuse across rounds" `Quick
+            test_pool_reuse_across_rounds;
+        ] );
+      qsuite "pool-properties" [ prop_pool_map_jobs_invariant ];
       ( "strings-table",
         [
           Alcotest.test_case "strings" `Quick test_strings;
