@@ -1111,6 +1111,92 @@ let run_anneal () =
   pf "wrote BENCH_anneal.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* serve: batch-service throughput, cold start vs warm shared cache.   *)
+(* Emits BENCH_serve.json; ci.sh gates the speedup at >= 2x.           *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve () =
+  heading "Serve: 8-synth-job batch, cold start vs warm estimate cache";
+  let module Sv = Ape_serve in
+  let batch_text =
+    (* Two distinct problems x four seeds: the warm pass exercises both
+       cross-job sharing (same fingerprint, different seed explores
+       overlapping regions) and the bit-identical replay of each
+       trajectory. *)
+    String.concat "\n"
+      (List.concat_map
+         (fun (gain, ugf) ->
+           List.map
+             (fun seed ->
+               Printf.sprintf
+                 "(job synth (id g%g-s%d) (gain %g) (ugf %g) (seed %d) \
+                  (schedule quick))"
+                 gain seed gain ugf seed)
+             [ 1; 2; 3; 4 ])
+         [ (200., 2e6); (150., 1e6) ])
+  in
+  let batch = Sv.Job.parse_batch batch_text in
+  let n_jobs = List.length batch in
+  let config =
+    { Sv.Scheduler.default with Sv.Scheduler.jobs = 1; queue = 16 }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Cold: every job pays a fresh runner — empty caches, as if each
+     request spun up its own process. *)
+  let (), cold_seconds =
+    time (fun () ->
+        List.iter
+          (fun input ->
+            let runner = Sv.Runner.create proc in
+            ignore
+              (Sv.Scheduler.run_batch config runner ~batch:"cold"
+                 ~emit:ignore [ input ]))
+          batch)
+  in
+  (* Warm: one daemon-lifetime runner; the first pass fills the
+     per-fingerprint caches, the measured second pass replays against
+     them. *)
+  let runner = Sv.Runner.create proc in
+  ignore
+    (Sv.Scheduler.run_batch config runner ~batch:"warmup" ~emit:ignore batch);
+  let summary, warm_seconds =
+    time (fun () ->
+        Sv.Scheduler.run_batch config runner ~batch:"warm" ~emit:ignore batch)
+  in
+  let hit_rate =
+    if summary.Sv.Record.cache_lookups = 0 then 0.
+    else
+      float_of_int summary.Sv.Record.cache_hits
+      /. float_of_int summary.Sv.Record.cache_lookups
+  in
+  let cold_rate = float_of_int n_jobs /. Float.max 1e-9 cold_seconds in
+  let warm_rate = float_of_int n_jobs /. Float.max 1e-9 warm_seconds in
+  let speedup = cold_seconds /. Float.max 1e-9 warm_seconds in
+  pf "cold (fresh runner per job): %.3f s  (%.1f jobs/s)\n" cold_seconds
+    cold_rate;
+  pf "warm (shared runner, 2nd pass): %.3f s  (%.1f jobs/s, cache %.1f%%)\n"
+    warm_seconds warm_rate (100. *. hit_rate);
+  pf "speedup %.2fx\n" speedup;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"cold_seconds\": %.4f,\n\
+    \  \"warm_seconds\": %.4f,\n\
+    \  \"cold_jobs_per_sec\": %.2f,\n\
+    \  \"warm_jobs_per_sec\": %.2f,\n\
+    \  \"warm_cache_hit_rate\": %.4f,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    n_jobs cold_seconds warm_seconds cold_rate warm_rate hit_rate speedup;
+  close_out oc;
+  pf "wrote BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1207,6 +1293,7 @@ let all () =
   run_sweep ();
   run_obs_overhead ();
   run_anneal ();
+  run_serve ();
   run_micro ()
 
 let () =
@@ -1223,11 +1310,12 @@ let () =
   | "sweep" -> run_sweep ()
   | "obs-overhead" -> run_obs_overhead ()
   | "anneal" -> run_anneal ()
+  | "serve" -> run_serve ()
   | "micro" -> run_micro ()
   | "all" -> all ()
   | other ->
     pf
       "unknown experiment %s (table1..table5, hierarchy, timing, ablation, \
-       mc, sweep, obs-overhead, micro, all)\n"
+       mc, sweep, obs-overhead, anneal, serve, micro, all)\n"
       other;
     exit 1

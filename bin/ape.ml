@@ -12,6 +12,9 @@
      ape sim FILE.sp [--out NODE] [--ac]
      ape verify [--level device|basic|opamp|module]... [--golden DIR]
                 [--update] [--tsv] [--no-slew] [--no-golden]
+     ape serve [FILE... | -] [--watch DIR --once] [--jobs N --queue N]
+                [--shed --fail-fast --timeout SEC] [--deterministic]
+                [--out PATH]
      ape vase FILE.scm
 
    Numbers accept SPICE suffixes (2meg, 10u, 4.7k). *)
@@ -58,6 +61,16 @@ let guard f =
   | Ape_estimator.Opamp.Infeasible msg ->
     pf "infeasible: %s\n" msg;
     1
+  (* Input-side failures get their own code (3): an unreadable job or
+     spool file, or a structurally broken job spec.  See the exit-code
+     table in the README. *)
+  | Sys_error msg ->
+    pf "%s\n" msg;
+    3
+  | Ape_serve.Reader.Error { pos; msg } ->
+    pf "job spec %d:%d: %s\n" pos.Ape_serve.Reader.line
+      pos.Ape_serve.Reader.col msg;
+    3
 
 let trace_arg =
   Arg.(
@@ -582,6 +595,221 @@ let verify_cmd =
       const run $ level_arg $ golden_arg $ no_golden_arg $ update_arg
       $ tsv_arg $ no_slew_arg $ trace_arg)
 
+(* ---------- ape serve ---------- *)
+
+let serve_cmd =
+  let module Sv = Ape_serve in
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Job batch files ($(b,-) reads one batch from stdin).")
+  in
+  let watch_arg =
+    Arg.(
+      value & opt (some dir) None
+      & info [ "watch" ] ~docv:"DIR"
+          ~doc:
+            "Spool directory: process every *.jobs file dropped there \
+             (each is renamed *.jobs.done once answered).")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"With --watch, drain the spool once and exit instead of \
+                polling forever.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ]
+          ~doc:
+            "Worker domains running jobs concurrently (0 = the \
+             hardware-recommended count).  Fixed-seed results are \
+             identical for every value.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ]
+          ~doc:"Bounded in-flight window: at most this many admitted jobs \
+                at once.")
+  in
+  let shed_arg =
+    Arg.(
+      value & flag
+      & info [ "shed" ]
+          ~doc:
+            "When the window is full, refuse further jobs of the batch \
+             with typed overloaded records instead of blocking \
+             (backpressure policy).")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Stop admitting jobs once a failure is collected; the \
+             unsubmitted remainder is recorded cancelled.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some number_conv) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Default per-job queue deadline: a job not started within \
+             SEC seconds of submission records a timeout.  A job's own \
+             (timeout ...) field wins.")
+  in
+  let deterministic_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Omit scheduling-dependent record fields (wall seconds, \
+             cache statistics) so fixed-seed batches render \
+             bit-identically at any --jobs.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:
+            "Result stream destination.  A directory gets one \
+             $(i,batch).jsonl per batch; anything else is appended to \
+             as a single file.  Default: stdout.")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt number_conv 0.5
+      & info [ "poll" ] ~docv:"SEC" ~doc:"Spool scan period for --watch.")
+  in
+  let max_batches_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-batches" ]
+          ~doc:"Exit after this many batches (mainly for tests).")
+  in
+  let cache_quantum_arg =
+    Arg.(
+      value & opt (some number_conv) None
+      & info [ "cache-quantum" ]
+          ~doc:"Estimate-cache grid size (default 1e-2).")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value & opt int 8192
+      & info [ "cache-capacity" ]
+          ~doc:"Estimate-cache entries per synthesis fingerprint.")
+  in
+  let run files watch once jobs queue shed fail_fast timeout deterministic
+      out poll max_batches cache_quantum cache_capacity trace =
+    with_trace trace @@ fun () ->
+    guard @@ fun () ->
+    if queue < 1 then begin
+      pf "--queue must be >= 1 (got %d)\n" queue;
+      exit 3
+    end;
+    let jobs = if jobs = 0 then Ape_util.Pool.recommended_jobs () else jobs in
+    if jobs < 1 then begin
+      pf "--jobs must be >= 0 (got %d)\n" jobs;
+      exit 3
+    end;
+    let config =
+      {
+        Sv.Scheduler.jobs;
+        queue;
+        policy = (if shed then Sv.Scheduler.Shed else Sv.Scheduler.Block);
+        fail_fast;
+        default_timeout = timeout;
+      }
+    in
+    let runner = Sv.Runner.create ?cache_quantum ~cache_capacity proc in
+    let pool = Ape_util.Pool.create ~workers:jobs in
+    let stopping = ref false in
+    let request_stop _ = stopping := true in
+    (* SIGINT/SIGTERM finish the in-flight batch, then fall through to
+       the one idempotent Pool.shutdown below. *)
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    (* Exit-code evidence across every batch (worst wins, 3 > 4 > 2). *)
+    let saw_parse = ref false
+    and saw_failed = ref false
+    and saw_overloaded = ref false in
+    let note (r : Sv.Record.t) =
+      match r.Sv.Record.status with
+      | Sv.Record.Parse_error _ -> saw_parse := true
+      | Sv.Record.Failed _ | Sv.Record.Unmet | Sv.Record.Timeout
+      | Sv.Record.Cancelled ->
+        saw_failed := true
+      | Sv.Record.Overloaded -> saw_overloaded := true
+      | Sv.Record.Done -> ()
+    in
+    let out_channel_for batch =
+      match out with
+      | None -> (stdout, false)
+      | Some path when Sys.file_exists path && Sys.is_directory path ->
+        let base = Filename.remove_extension (Filename.basename batch) in
+        let file = Filename.concat path (base ^ ".jsonl") in
+        (open_out file, true)
+      | Some path ->
+        (open_out_gen [ Open_append; Open_creat ] 0o644 path, true)
+    in
+    let run_batch ~batch text =
+      let oc, close = out_channel_for batch in
+      Fun.protect
+        ~finally:(fun () -> if close then close_out oc else flush oc)
+        (fun () ->
+          let emit r =
+            note r;
+            output_string oc (Sv.Record.render ~deterministic r);
+            output_char oc '\n';
+            flush oc
+          in
+          let summary =
+            Sv.Scheduler.run_batch ~pool config runner ~batch ~emit
+              (Sv.Job.parse_batch text)
+          in
+          output_string oc
+            (Sv.Record.render_summary ~deterministic summary);
+          output_char oc '\n')
+    in
+    let read_file path = In_channel.with_open_text path In_channel.input_all in
+    List.iter
+      (fun file ->
+        if file = "-" then
+          run_batch ~batch:"-" (In_channel.input_all In_channel.stdin)
+        else run_batch ~batch:file (read_file file))
+      files;
+    (match watch with
+    | None ->
+      if files = [] then
+        run_batch ~batch:"-" (In_channel.input_all In_channel.stdin)
+    | Some dir ->
+      ignore
+        (Sv.Spool.watch ~poll ?max_batches
+           ~stop:(fun () -> !stopping)
+           ~once dir
+           ~process:(fun path -> run_batch ~batch:path (read_file path))));
+    Ape_util.Pool.shutdown pool;
+    if !saw_parse then 3
+    else if !saw_overloaded then 4
+    else if !saw_failed then 2
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch job service: run declarative estimate/synth/mc/sim/verify \
+          jobs from files, stdin or a spool directory, streaming one \
+          JSON-lines record per job.")
+    Term.(
+      const run $ files_arg $ watch_arg $ once_arg $ jobs_arg $ queue_arg
+      $ shed_arg $ fail_fast_arg $ timeout_arg $ deterministic_arg $ out_arg
+      $ poll_arg $ max_batches_arg $ cache_quantum_arg $ cache_capacity_arg
+      $ trace_arg)
+
 (* ---------- ape stats ---------- *)
 
 let stats_cmd =
@@ -702,5 +930,5 @@ let () =
        (Cmd.group info
           [
             opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; verify_cmd;
-            stats_cmd; vase_cmd;
+            serve_cmd; stats_cmd; vase_cmd;
           ]))

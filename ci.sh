@@ -55,6 +55,41 @@ awk -F': *|,' '/"target_reached"/ { reached = $2 }
   }' BENCH_anneal.json
 echo "archived BENCH_anneal.json"
 
+echo "== ape serve smoke (30 jobs x 2 passes through one daemon) =="
+dune exec bin/ape.exe -- serve --jobs 4 \
+  examples/jobs/smoke30.jobs examples/jobs/smoke30.jobs > /tmp/ape_serve_smoke.jsonl
+# Exit 0 above already means no failed/unmet/overloaded record; assert it
+# explicitly anyway, plus a warm cache on the second pass.
+if grep -q '"status":"failed"\|"status":"parse-error"\|"status":"unmet"' \
+    /tmp/ape_serve_smoke.jsonl; then
+  echo "FAIL: smoke batch produced failing records"; exit 1
+fi
+records=$(grep -c '"schema"' /tmp/ape_serve_smoke.jsonl)
+[ "$records" -eq 62 ] || { echo "FAIL: expected 62 records, got $records"; exit 1; }
+hits=$(tail -n 1 /tmp/ape_serve_smoke.jsonl | sed 's/.*"cache_hits":\([0-9]*\).*/\1/')
+[ "$hits" -gt 0 ] || { echo "FAIL: second pass had no cache hits"; exit 1; }
+echo "smoke OK: 62 records, second-pass cache hits $hits"
+rm -f /tmp/ape_serve_smoke.jsonl
+
+echo "== ape serve determinism (fixed-seed batch, jobs 1 vs jobs 3) =="
+dune exec bin/ape.exe -- serve --deterministic --jobs 1 \
+  examples/jobs/determinism.jobs > /tmp/ape_serve_det1.jsonl
+dune exec bin/ape.exe -- serve --deterministic --jobs 3 \
+  examples/jobs/determinism.jobs > /tmp/ape_serve_det3.jsonl
+diff /tmp/ape_serve_det1.jsonl /tmp/ape_serve_det3.jsonl
+rm -f /tmp/ape_serve_det1.jsonl /tmp/ape_serve_det3.jsonl
+
+echo "== serve bench (warm cache >= 2x cold-start-per-job) =="
+dune exec bench/main.exe -- serve
+awk -F': *|,' '/"speedup"/ { speedup = $2 }
+  /"warm_cache_hit_rate"/ { rate = $2 }
+  END {
+    if (rate + 0. <= 0.) { print "FAIL: warm pass hit no cache"; exit 1 }
+    if (speedup + 0. < 2.0) { printf "FAIL: serve speedup %.2fx < 2x\n", speedup; exit 1 }
+    printf "serve warm/cold speedup %.2fx >= 2x OK\n", speedup
+  }' BENCH_serve.json
+echo "archived BENCH_serve.json"
+
 echo "== ape mc determinism (jobs 1 vs jobs 4) =="
 dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 1 \
   | grep -v '^Monte Carlo:' > /tmp/ape_mc_jobs1.txt

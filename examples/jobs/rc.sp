@@ -1,0 +1,7 @@
+* two-section RC ladder (serve example deck)
+V1 in 0 DC 0 AC 1
+R1 in mid 1k
+C1 mid 0 1u
+R2 mid out 10k
+C2 out 0 100n
+.END

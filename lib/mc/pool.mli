@@ -1,10 +1,33 @@
-(** Deterministic parallel map over OCaml 5 domains.
+(** Deterministic parallel execution over OCaml 5 domains.
 
     Re-export of {!Ape_util.Pool} (the implementation moved to lib/util
     so the SPICE layer can parallelise frequency grids with the same
     deterministic chunking); see that module for the full contract.
-    Statistics aggregated from [map] are identical for every [jobs]
-    value. *)
+    The historical [Ape_mc.Pool] address keeps working, and — unlike the
+    first re-export, which only surfaced [map] — the whole persistent
+    pool API is visible here too, so Monte Carlo callers can hold a
+    long-lived pool across submission rounds.  Statistics aggregated
+    from [map] are identical for every [jobs] value. *)
+
+exception Cancelled
+(** Raised by {!await} for tasks discarded by
+    [shutdown ~cancel_pending:true] before a worker picked them up. *)
+
+type t = Ape_util.Pool.t
+(** A persistent worker pool. *)
+
+type 'a task = 'a Ape_util.Pool.task
+(** The join handle for one submitted thunk. *)
+
+val create : workers:int -> t
+val size : t -> int
+val submit : t -> (unit -> 'a) -> 'a task
+val await : 'a task -> 'a
+
+val shutdown : ?cancel_pending:bool -> t -> unit
+(** Idempotent — see {!Ape_util.Pool.shutdown}. *)
+
+val with_pool : workers:int -> (t -> 'a) -> 'a
 
 val map : jobs:int -> int -> (int -> 'a) -> 'a array
 

@@ -1,0 +1,102 @@
+(** Declarative job specifications for the batch service.
+
+    A job file is a sequence of S-expression forms, one job each (in
+    the spirit of TMLE-CLI's estimand configuration files — a plain
+    text declaration of work, versioned alongside the design):
+
+    {v
+    ; estimate an opamp, synthesise one, yield-check another
+    (job estimate (id e0) (gain 200) (ugf 2meg))
+    (job synth    (id s0) (gain 200) (ugf 2meg) (seed 7) (schedule quick))
+    (job mc       (id m0) (gain 200) (ugf 2meg) (samples 200))
+    (job sim      (id x0) (file "examples/jobs/rc.sp") (out out))
+    (job verify   (id v0) (levels device basic) (no-slew))
+    v}
+
+    Numbers take SPICE suffixes ([2meg], [10u], [4.7k]).  Parsing is
+    per-form: a malformed job yields an {!error} carrying the precise
+    {!Reader.span} while the rest of the batch parses normally, so one
+    bad line can never take down a batch, let alone the daemon.
+
+    {!print} renders the canonical one-line form; [print → parse →
+    print] is a fixpoint (floats print via [Units.to_exact], the PR-2
+    exact round-trip representation), which the QCheck suite holds the
+    parser to. *)
+
+type bias = Simple | Wilson | Cascode
+
+type opamp_spec = {
+  gain : float;  (** required DC gain *)
+  ugf : float;  (** required unity-gain frequency, Hz *)
+  ibias : float;  (** bias reference current, A (default 1u) *)
+  cl : float;  (** load capacitance, F (default 10p) *)
+  bias : bias;  (** tail-source topology (default simple) *)
+  zout : float option;  (** output-impedance requirement, Ω *)
+  buffer : bool;  (** include an output buffer *)
+}
+
+type synth_mode = Wide_mode | Ape_mode
+(** [Ape_mode] = APE-centred ±20 % intervals (the default);
+    [Wide_mode] = standalone wide intervals. *)
+
+type sched = Quick | Full
+(** Annealing budget: {!Ape_synth.Anneal.quick_schedule} or the default
+    schedule. *)
+
+type mc_level = Mc_estimate | Mc_simulate
+
+type payload =
+  | Estimate of opamp_spec
+  | Synth of {
+      spec : opamp_spec;
+      mode : synth_mode;
+      seed : int option;  (** explicit RNG seed; default keyed on id *)
+      chains : int;  (** tempered replicas (default 1) *)
+      schedule : sched;  (** default [Full] *)
+    }
+  | Mc of {
+      spec : opamp_spec;
+      samples : int;  (** default 200 *)
+      level : mc_level;  (** default [Mc_estimate] *)
+      sigma_scale : float;  (** default 1.0 *)
+      seed : int option;
+    }
+  | Sim of { file : string; out : string option }
+  | Verify of {
+      levels : string list;  (** validated level names; [] = all *)
+      slew : bool;  (** default true; [(no-slew)] clears it *)
+    }
+
+type t = {
+  id : string;  (** unique-ish label; defaults to ["job<index>"] *)
+  timeout : float option;  (** queue-deadline, seconds *)
+  payload : payload;
+}
+
+type error = {
+  span : Reader.span option;  (** location of the offending form/field *)
+  msg : string;
+  id : string option;  (** the job's id when the form got that far *)
+}
+
+val parse_batch : string -> (t, error) result list
+(** Parse a whole job file.  Never raises: a structurally broken file
+    (unbalanced parenthesis, unterminated string) yields a single
+    [Error]; per-form problems (unknown kind, missing or duplicate
+    field, bad number) yield one [Error] in that form's position with
+    the rest of the batch intact. *)
+
+val print : t -> string
+(** Canonical single-line form.  [parse_batch (print j)] yields
+    [[Ok j']] with [print j' = print j]. *)
+
+val kind_name : t -> string
+(** ["estimate" | "synth" | "mc" | "sim" | "verify"]. *)
+
+val seed_of : t -> int
+(** The job's RNG seed: the explicit [(seed N)] when given, otherwise a
+    stable FNV-1a hash of the id — so a job's stochastic results depend
+    only on its own spec, never on its position in a batch or on batch
+    composition. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,42 @@
+(** Executes one parsed {!Job.t} and produces its result payload.
+
+    A runner owns the state shared across a daemon's whole lifetime:
+    the process corner and the registry of warm estimate caches.
+
+    {b Cache sharing.}  [Est_cache] keys on the quantized sizing vector
+    alone, so a cache is only sound between runs of the {e same}
+    synthesis problem — the same spec under a different load cap maps
+    the same sizing point to a different cost.  The registry therefore
+    keeps one cache per problem {e fingerprint} (the spec-defining
+    fields plus the interval mode); two synth jobs share warmth exactly
+    when their cost functions are provably identical.  Cached values
+    are pure functions of the quantized key (see {!Ape_synth.Est_cache}),
+    so sharing cannot perturb results — only speed.
+
+    {b Determinism.}  Every stochastic payload seeds its own RNG from
+    {!Job.seed_of} and runs with internal [jobs = 1]; parallelism lives
+    one level up in the {!Scheduler}, which runs whole jobs on pool
+    workers.  A job's payload is thus a pure function of its spec. *)
+
+type t
+
+val create :
+  ?cache_quantum:float ->
+  ?cache_capacity:int ->
+  Ape_process.Process.t ->
+  t
+(** [cache_capacity] (default 8192) is per fingerprint, not global. *)
+
+val run : t -> Job.t -> Record.status * (string * Record.json) list
+(** Execute the payload.  Engine exceptions ([Infeasible],
+    [No_convergence], [Engine_error], netlist parse errors, unreadable
+    files) are caught and become [Failed]; a job that runs but misses
+    its own criterion (synth spec, MC yield, verify tolerance) is
+    [Unmet].  Never raises. *)
+
+val cache_stats : t -> int * int
+(** [(lookups, hits)] summed over every registered cache — cumulative
+    across batches; callers difference them per batch. *)
+
+val cache_count : t -> int
+(** Distinct problem fingerprints seen so far. *)

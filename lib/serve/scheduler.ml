@@ -1,0 +1,153 @@
+module Pool = Ape_util.Pool
+
+type policy = Block | Shed
+
+type config = {
+  jobs : int;
+  queue : int;
+  policy : policy;
+  fail_fast : bool;
+  default_timeout : float option;
+}
+
+let default =
+  { jobs = 1; queue = 64; policy = Block; fail_fast = false;
+    default_timeout = None }
+
+(* Raised inside the worker thunk when the queue deadline has already
+   passed as the worker picks the job up. *)
+exception Timed_out
+
+type in_flight = {
+  if_index : int;
+  if_job : Job.t;
+  if_task : (Record.status * (string * Record.json) list * float) Pool.task;
+}
+
+let run_batch ?pool config runner ~batch ~emit inputs =
+  if config.queue < 1 then invalid_arg "Scheduler.run_batch: queue < 1";
+  if config.jobs < 0 then invalid_arg "Scheduler.run_batch: jobs < 0";
+  let t_batch = Unix.gettimeofday () in
+  let lookups0, hits0 = Runner.cache_stats runner in
+  let owned, pool =
+    match pool with
+    | Some p -> (None, p)
+    | None ->
+      (* jobs = 1 still gets one worker domain so a timeout can actually
+         expire while the main domain is enqueueing; workers = 0 would
+         run thunks inline at submit time. *)
+      let p = Pool.create ~workers:(max 1 config.jobs) in
+      (Some p, p)
+  in
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  (* Records buffer: emission is strictly in input order. *)
+  let records : Record.t option array = Array.make n None in
+  let next_emit = ref 0 in
+  let emitted = ref [] in
+  let flush () =
+    while
+      !next_emit < n
+      &&
+      match records.(!next_emit) with
+      | Some r ->
+        emit r;
+        emitted := r :: !emitted;
+        incr next_emit;
+        true
+      | None -> false
+    do
+      ()
+    done
+  in
+  let put index r =
+    records.(index) <- Some r;
+    flush ()
+  in
+  let window : in_flight Queue.t = Queue.create () in
+  let failed = ref false in
+  let record_of_job (job : Job.t) status payload seconds =
+    { Record.id = job.Job.id;
+      kind = Job.kind_name job;
+      status;
+      seconds;
+      payload;
+    }
+  in
+  let collect_oldest () =
+    let inf = Queue.pop window in
+    let status, payload, seconds =
+      match Pool.await inf.if_task with
+      | result -> result
+      | exception Timed_out -> (Record.Timeout, [], 0.)
+      | exception Pool.Cancelled -> (Record.Cancelled, [], 0.)
+      | exception e -> (Record.Failed (Printexc.to_string e), [], 0.)
+    in
+    (match status with
+    | Record.Failed _ | Record.Parse_error _ | Record.Timeout ->
+      failed := true
+    | _ -> ());
+    put inf.if_index (record_of_job inf.if_job status payload seconds)
+  in
+  let submit index job =
+    let deadline =
+      match (job.Job.timeout, config.default_timeout) with
+      | Some t, _ | None, Some t -> Some (Unix.gettimeofday () +. t)
+      | None, None -> None
+    in
+    let task =
+      Pool.submit pool (fun () ->
+          (match deadline with
+          | Some d when Unix.gettimeofday () >= d -> raise Timed_out
+          | _ -> ());
+          let t0 = Unix.gettimeofday () in
+          let status, payload = Runner.run runner job in
+          (status, payload, Unix.gettimeofday () -. t0))
+    in
+    Queue.push { if_index = index; if_job = job; if_task = task } window
+  in
+  Array.iteri
+    (fun index input ->
+      match input with
+      | Error (e : Job.error) ->
+        let id = match e.Job.id with Some id -> id | None -> "-" in
+        (match config.fail_fast with true -> failed := true | false -> ());
+        put index
+          { Record.id;
+            kind = "-";
+            status = Record.Parse_error (Job.error_to_string e);
+            seconds = 0.;
+            payload = [];
+          }
+      | Ok job ->
+        if config.fail_fast && !failed then
+          put index (record_of_job job Record.Cancelled [] 0.)
+        else begin
+          (* Backpressure: the window never exceeds [queue]. *)
+          if Queue.length window >= config.queue then begin
+            match config.policy with
+            | Block ->
+              while Queue.length window >= config.queue do
+                collect_oldest ()
+              done
+            | Shed -> ()
+          end;
+          if Queue.length window >= config.queue then
+            (* Shed: refused rather than queued. *)
+            put index (record_of_job job Record.Overloaded [] 0.)
+          else if config.fail_fast && !failed then
+            (* A blocking collect just surfaced a failure. *)
+            put index (record_of_job job Record.Cancelled [] 0.)
+          else submit index job
+        end)
+    inputs;
+  while not (Queue.is_empty window) do
+    collect_oldest ()
+  done;
+  flush ();
+  (match owned with Some p -> Pool.shutdown p | None -> ());
+  let lookups1, hits1 = Runner.cache_stats runner in
+  Record.summarize ~batch
+    ~seconds:(Unix.gettimeofday () -. t_batch)
+    ~cache_lookups:(lookups1 - lookups0) ~cache_hits:(hits1 - hits0)
+    (List.rev !emitted)

@@ -1,0 +1,62 @@
+(** Multiplexes a batch of jobs onto the persistent domain {!Pool} with
+    a bounded in-flight window, ordered emission, backpressure and
+    per-job deadlines.
+
+    {b Window.}  At most [queue] jobs are in flight at once, whatever
+    the worker count.  When the window is full the [policy] decides:
+    [Block] collects the oldest job (waiting for it) before admitting
+    the next; [Shed] refuses further admission for the rest of the
+    batch — those jobs get a typed [Overloaded] record immediately and
+    never run.  Because a batch arrives as a unit, shed semantics are a
+    deterministic per-batch admission cap: the first [queue] jobs run,
+    the rest are shed, at any [--jobs].
+
+    {b Ordered emission.}  Records are handed to [emit] in exact input
+    order — job [i]'s record never precedes job [i-1]'s — buffering
+    out-of-order completions internally.  Combined with per-job RNG
+    streams ({!Job.seed_of}) this makes the record stream (under the
+    deterministic rendering) bit-identical for every worker count.
+
+    {b Fail-fast.}  With [fail_fast], once a [Failed], [Parse_error] or
+    [Timeout] record is {e collected}, no further job is submitted;
+    the not-yet-submitted remainder is emitted as [Cancelled].  Jobs
+    already in flight run to completion.  Collection only happens at
+    the window-full and end-of-batch join points, so at most [queue]
+    jobs admitted after the failing one still run — deterministic at
+    window granularity.
+
+    {b Deadlines.}  A job's [timeout] (or [default_timeout]) is a queue
+    deadline: if a worker picks the job up later than [timeout] seconds
+    after submission, it is not run and records [Timeout].  A job that
+    has already started is never interrupted (the estimation kernels
+    are pure OCaml with no safe preemption point). *)
+
+type policy = Block | Shed
+
+type config = {
+  jobs : int;  (** worker domains when the scheduler owns the pool *)
+  queue : int;  (** in-flight window, >= 1 *)
+  policy : policy;
+  fail_fast : bool;
+  default_timeout : float option;  (** seconds; per-job timeout wins *)
+}
+
+val default : config
+(** [jobs = 1; queue = 64; policy = Block; fail_fast = false;
+    default_timeout = None]. *)
+
+val run_batch :
+  ?pool:Ape_util.Pool.t ->
+  config ->
+  Runner.t ->
+  batch:string ->
+  emit:(Record.t -> unit) ->
+  (Job.t, Job.error) result list ->
+  Record.summary
+(** Run one parsed batch.  Parse errors occupy their input position as
+    [Parse_error] records.  With [?pool] the caller's pool is used (and
+    left open — the daemon owns it); otherwise a pool of [config.jobs]
+    workers is created and shut down around the batch.  The summary
+    counts the emitted records; its cache statistics are the runner's
+    cache traffic differenced across the batch.  Raises
+    [Invalid_argument] when [config.queue < 1] or [config.jobs < 0]. *)

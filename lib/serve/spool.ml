@@ -1,0 +1,37 @@
+let has_suffix suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let scan dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun name -> has_suffix ".jobs" name)
+  |> List.sort String.compare
+  |> List.map (fun name -> Filename.concat dir name)
+
+let mark_done path = Sys.rename path (path ^ ".done")
+
+let watch ?(poll = 0.5) ?max_batches ?(stop = fun () -> false) ~once dir
+    ~process =
+  let processed = ref 0 in
+  let budget_left () =
+    (not (stop ()))
+    && match max_batches with Some m -> !processed < m | None -> true
+  in
+  let pass () =
+    List.iter
+      (fun path ->
+        if budget_left () then begin
+          Fun.protect
+            ~finally:(fun () -> mark_done path)
+            (fun () -> process path);
+          incr processed
+        end)
+      (scan dir)
+  in
+  pass ();
+  if not once then
+    while budget_left () do
+      Unix.sleepf poll;
+      pass ()
+    done;
+  !processed

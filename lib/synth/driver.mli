@@ -27,6 +27,7 @@ val run :
   ?chains:int ->
   ?jobs:int ->
   ?exchange_period:int ->
+  ?cache:Est_cache.t ->
   ?cache_quantum:float ->
   ?cache_capacity:int ->
   rng:Ape_util.Rng.t ->
@@ -46,7 +47,12 @@ val run :
     persistent domain pool of [jobs] workers (default 1), exchanging
     every [exchange_period] stages (default 1) and sharing the
     problem's {!Est_cache} ([cache_quantum]/[cache_capacity] tune it).
-    For a fixed seed the result is bit-identical for any [jobs]. *)
+    For a fixed seed the result is bit-identical for any [jobs].
+
+    [cache] hands the run an externally-owned cache instead (see
+    {!Opamp_problem.build}); [cache_hits]/[cache_lookups] in the result
+    are then that cache's {e cumulative} totals, so callers sharing a
+    cache across runs should difference them. *)
 
 val yield_check :
   ?sigmas:Ape_mc.Variation.sigmas ->

@@ -209,8 +209,8 @@ let size_template (process : Proc.t) ~mode base design =
         (Template.Res_value [ "d1.tail.R1" ]);
     ]
 
-let build ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t) ~mode row
-    design =
+let build ?cache ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t)
+    ~mode row design =
   let vdd = process.Proc.vdd in
   let base = testbench process row design in
   let template = Template.make base (size_template process ~mode base design) in
@@ -273,7 +273,13 @@ let build ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t) ~mode row
     Cost.evaluate cost_model measurement +. (3. *. kcl)
   in
   let cache =
-    Est_cache.create ?quantum:cache_quantum ~capacity:cache_capacity ()
+    (* A caller-owned cache (the serve scheduler's per-problem warm
+       cache, shared across every job with this fingerprint) wins over
+       a fresh one; its quantum/capacity were fixed at creation. *)
+    match cache with
+    | Some c -> c
+    | None ->
+      Est_cache.create ?quantum:cache_quantum ~capacity:cache_capacity ()
   in
   (* The callback evaluates the quantized cell's representative point,
      not [point] itself, so the memoised value is a pure function of

@@ -63,6 +63,7 @@ type problem = {
 }
 
 val build :
+  ?cache:Est_cache.t ->
   ?cache_quantum:float ->
   ?cache_capacity:int ->
   Ape_process.Process.t ->
@@ -71,7 +72,13 @@ val build :
   Ape_estimator.Opamp.design ->
   problem
 (** [cache_quantum]/[cache_capacity] tune the {!Est_cache} behind
-    [cost] (defaults: {!Est_cache.default_quantum}, 8192 entries). *)
+    [cost] (defaults: {!Est_cache.default_quantum}, 8192 entries).
+    [cache] instead hands the problem an externally-owned cache — the
+    serve layer keeps one warm cache per problem fingerprint so repeated
+    synthesis of the same spec skips already-evaluated points; when
+    given, [cache_quantum]/[cache_capacity] are ignored.  Sharing is
+    sound because memoised values are pure functions of the quantized
+    key (see {!Est_cache}). *)
 
 val measure_netlist :
   ?out_dc_target:float ->

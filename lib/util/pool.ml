@@ -129,23 +129,33 @@ let await task =
   | Raised e -> raise e
   | Pending -> assert false
 
+(* Only the first shutdown closes the pool and joins the workers:
+   [Domain.join] raises on a second join, and the daemon signal path
+   (serve's SIGINT handler racing the normal exit path) legitimately
+   calls shutdown twice.  [p_open = false] doubles as the
+   shutdown-started marker — nothing else ever clears it. *)
 let shutdown ?(cancel_pending = false) pool =
-  let cancelled =
+  let cancelled, first =
     with_lock pool.p_lock (fun () ->
-        pool.p_open <- false;
-        let cancelled =
-          if cancel_pending then begin
-            let jobs = List.of_seq (Queue.to_seq pool.p_queue) in
-            Queue.clear pool.p_queue;
-            jobs
-          end
-          else []
-        in
-        Condition.broadcast pool.p_wake;
-        cancelled)
+        if not pool.p_open then ([], false)
+        else begin
+          pool.p_open <- false;
+          let cancelled =
+            if cancel_pending then begin
+              let jobs = List.of_seq (Queue.to_seq pool.p_queue) in
+              Queue.clear pool.p_queue;
+              jobs
+            end
+            else []
+          in
+          Condition.broadcast pool.p_wake;
+          (cancelled, true)
+        end)
   in
-  List.iter (fun job -> job.cancel ()) cancelled;
-  Array.iter Domain.join pool.p_domains
+  if first then begin
+    List.iter (fun job -> job.cancel ()) cancelled;
+    Array.iter Domain.join pool.p_domains
+  end
 
 let with_pool ~workers f =
   let pool = create ~workers in

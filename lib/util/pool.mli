@@ -72,7 +72,10 @@ val await : 'a task -> 'a
 val shutdown : ?cancel_pending:bool -> t -> unit
 (** Close the pool and join every worker.  Queued-but-unstarted jobs
     are run to completion by default, or completed with {!Cancelled}
-    when [cancel_pending] is true.  Idempotent. *)
+    when [cancel_pending] is true.  Idempotent: only the first call
+    cancels and joins; any later call (a daemon's signal handler racing
+    its normal exit path) returns immediately without touching the
+    already-joined domains. *)
 
 val with_pool : workers:int -> (t -> 'a) -> 'a
 (** [with_pool ~workers f] brackets [create]/[shutdown] around [f].  If

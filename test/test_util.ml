@@ -436,6 +436,23 @@ let test_pool_submit_after_shutdown () =
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
       ignore (Pool.submit pool (fun () -> ())))
 
+(* The daemon's signal handler and its normal exit path may both call
+   shutdown; the second (and third) call must be a silent no-op, not a
+   second Domain.join (which raises). *)
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~workers:2 in
+  let t = Pool.submit pool (fun () -> 7) in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Pool.shutdown ~cancel_pending:true pool;
+  Alcotest.(check int) "work done before first shutdown" 7 (Pool.await t);
+  (* Also from another domain, racing a third call. *)
+  let pool2 = Pool.create ~workers:1 in
+  let closer = Domain.spawn (fun () -> Pool.shutdown pool2) in
+  Pool.shutdown pool2;
+  Domain.join closer;
+  Alcotest.(check pass) "no raise on double shutdown" () ()
+
 let test_pool_cancellation () =
   (* One worker held inside a task while more work queues up: shutdown
      with cancel_pending completes the queued task with Cancelled even
@@ -558,6 +575,8 @@ let () =
             test_pool_inline_when_no_workers;
           Alcotest.test_case "submit after shutdown" `Quick
             test_pool_submit_after_shutdown;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
           Alcotest.test_case "cancellation" `Quick test_pool_cancellation;
           Alcotest.test_case "reuse across rounds" `Quick
             test_pool_reuse_across_rounds;
