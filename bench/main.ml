@@ -1197,6 +1197,188 @@ let run_serve () =
   pf "wrote BENCH_serve.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Sparse MNA engine: dense vs symbolic-once/numeric-many sparse LU on *)
+(* a generated RC-ladder AC sweep.  The dense LU is O(n^3) per         *)
+(* frequency; the sparse refactorisation is O(nnz) on a tridiagonal-   *)
+(* shaped system, so the gap widens with the deck.  ci.sh gates the    *)
+(* speedup at the largest size at >= 3x and the cross-engine solution  *)
+(* disagreement at <= 1e-8.  Emits BENCH_sparse.json.                  *)
+(* ------------------------------------------------------------------ *)
+
+let ladder_deck n =
+  let open Ape_circuit.Netlist in
+  let node i = Printf.sprintf "n%d" i in
+  let sections =
+    List.concat
+      (List.init n (fun i ->
+           [
+             Resistor
+               {
+                 name = Printf.sprintf "r%d" i;
+                 a = node i;
+                 b = node (i + 1);
+                 r = 1e3;
+               };
+             Capacitor
+               {
+                 name = Printf.sprintf "c%d" i;
+                 a = node (i + 1);
+                 b = ground;
+                 c = 1e-9;
+               };
+           ]))
+  in
+  make
+    ~title:(Printf.sprintf "rc ladder, %d sections" n)
+    (Vsource { name = "vin"; p = node 0; n = ground; dc = 1.0; ac = 1.0 }
+    :: sections)
+
+let run_sparse () =
+  heading "Sparse MNA engine: dense LU vs symbolic-once/numeric-many";
+  let module Ac = Ape_spice.Ac in
+  let module Dc = Ape_spice.Dc in
+  let module Backend = Ape_spice.Backend in
+  let grid =
+    Ac.sweep_frequencies ~points_per_decade:10 ~fstart:1e2 ~fstop:1e8 ()
+  in
+  let n_grid = List.length grid in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Rate of prepared per-frequency solves for one engine on one deck.
+     [passes] scales the sparse side up so both sit in a measurable
+     time window; the reported figure is solves/second either way. *)
+  let rate engine deck ~passes =
+    Backend.use engine (fun () ->
+        let op = Dc.solve deck in
+        let p = Ac.prepare op in
+        (* Warm pass: first-touch allocation and symbolic analysis off
+           the clock. *)
+        List.iter (fun f -> ignore (Ac.solve_prepared p f)) grid;
+        let t =
+          time (fun () ->
+              for _ = 1 to passes do
+                List.iter (fun f -> ignore (Ac.solve_prepared p f)) grid
+              done)
+        in
+        float_of_int (passes * n_grid) /. Float.max 1e-9 t)
+  in
+  let gate_n = if fast_mode then 120 else 200 in
+  let sizes =
+    List.filter (fun s -> s <= gate_n) [ 8; 16; 32; 64; 128; 200 ]
+  in
+  let curve =
+    List.map
+      (fun n ->
+        let deck = ladder_deck n in
+        let dense = rate Backend.Dense deck ~passes:1 in
+        let sparse = rate Backend.Sparse deck ~passes:(if n <= 32 then 20 else 50) in
+        (n, dense, sparse, sparse /. dense))
+      sizes
+  in
+  print_string
+    (Table.render
+       ~header:[ "sections"; "dense solves/s"; "sparse solves/s"; "speedup" ]
+       (List.map
+          (fun (n, d, s, sp) ->
+            [
+              string_of_int n; eng d; eng s; Printf.sprintf "%.2fx" sp;
+            ])
+          curve));
+  let crossover =
+    List.find_opt (fun (_, _, _, sp) -> sp > 1.) curve
+    |> Option.map (fun (n, _, _, _) -> n)
+  in
+  (match crossover with
+  | Some n -> pf "dense/sparse crossover at <= %d sections\n" n
+  | None -> pf "no crossover within the measured sizes\n");
+  let _, gate_dense, gate_sparse, gate_speedup =
+    List.nth curve (List.length curve - 1)
+  in
+
+  (* Differential check + instrumentation on the gate deck: the two
+     engines must agree on every sweep point, and the sparse counters
+     must show one symbolic analysis amortised over the whole sweep. *)
+  let deck = ladder_deck gate_n in
+  let sweep_of engine =
+    Backend.use engine (fun () ->
+        let op = Dc.solve deck in
+        (Ac.sweep_prepared (Ac.prepare op) grid).Ac.points)
+  in
+  Ape_obs.enable ();
+  Ape_obs.reset ();
+  let pts_dense = sweep_of Backend.Dense in
+  let pts_sparse = sweep_of Backend.Sparse in
+  let snap = Ape_obs.snapshot () in
+  Ape_obs.disable ();
+  let counter name =
+    try List.assoc name snap.Ape_obs.counters with Not_found -> 0
+  in
+  let gauge name =
+    try List.assoc name snap.Ape_obs.gauges with Not_found -> 0.
+  in
+  let max_rel_err =
+    List.fold_left2
+      (fun acc (a : Ac.solution) (b : Ac.solution) ->
+        let w = ref acc in
+        Array.iteri
+          (fun i (u : Complex.t) ->
+            let v = b.Ac.x.(i) in
+            let d = Complex.norm (Complex.sub u v) in
+            let scale = Float.max 1e-12 (Complex.norm u) in
+            w := Float.max !w (d /. scale))
+          a.Ac.x;
+        !w)
+      0. pts_dense pts_sparse
+  in
+  pf "gate deck (%d sections, %d unknowns): %d symbolic analyses, %d \
+      numeric refactors (%d unstable), nnz %.0f, fill ratio %.2f\n"
+    gate_n (gate_n + 2)
+    (counter "sparse.symbolic")
+    (counter "sparse.refactor")
+    (counter "sparse.refactor_unstable")
+    (gauge "sparse.nnz") (gauge "sparse.fill_ratio");
+  pf "max relative disagreement dense vs sparse over %d points: %.3g\n"
+    n_grid max_rel_err;
+  pf "sparse speedup at %d sections: %.2fx\n" gate_n gate_speedup;
+
+  let oc = open_out "BENCH_sparse.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"gate_sections\": %d,\n\
+    \  \"grid_points\": %d,\n\
+    \  \"dense_solves_per_sec\": %.1f,\n\
+    \  \"sparse_solves_per_sec\": %.1f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"max_rel_err\": %.3g,\n\
+    \  \"symbolic_factorizations\": %d,\n\
+    \  \"numeric_refactorizations\": %d,\n\
+    \  \"unstable_refactorizations\": %d,\n\
+    \  \"nnz\": %.0f,\n\
+    \  \"fill_ratio\": %.3f,\n\
+    \  \"crossover_sections\": %s,\n\
+    \  \"curve\": [%s]\n\
+     }\n"
+    gate_n n_grid gate_dense gate_sparse gate_speedup max_rel_err
+    (counter "sparse.symbolic")
+    (counter "sparse.refactor")
+    (counter "sparse.refactor_unstable")
+    (gauge "sparse.nnz") (gauge "sparse.fill_ratio")
+    (match crossover with Some n -> string_of_int n | None -> "null")
+    (String.concat ", "
+       (List.map
+          (fun (n, d, s, sp) ->
+            Printf.sprintf
+              "{\"sections\": %d, \"dense\": %.1f, \"sparse\": %.1f, \
+               \"speedup\": %.2f}"
+              n d s sp)
+          curve));
+  close_out oc;
+  pf "wrote BENCH_sparse.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1291,6 +1473,7 @@ let all () =
   run_ablation ();
   run_mc ();
   run_sweep ();
+  run_sparse ();
   run_obs_overhead ();
   run_anneal ();
   run_serve ();
@@ -1308,6 +1491,7 @@ let () =
   | "ablation" -> run_ablation ()
   | "mc" -> run_mc ()
   | "sweep" -> run_sweep ()
+  | "sparse" -> run_sparse ()
   | "obs-overhead" -> run_obs_overhead ()
   | "anneal" -> run_anneal ()
   | "serve" -> run_serve ()
@@ -1316,6 +1500,6 @@ let () =
   | other ->
     pf
       "unknown experiment %s (table1..table5, hierarchy, timing, ablation, \
-       mc, sweep, obs-overhead, anneal, serve, micro, all)\n"
+       mc, sweep, sparse, obs-overhead, anneal, serve, micro, all)\n"
       other;
     exit 1

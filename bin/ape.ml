@@ -55,7 +55,7 @@ let guard f =
   | Ape_spice.Transient.Step_failed t ->
     pf "transient step failed at t=%ss\n" (eng t);
     1
-  | Ape_util.Matrix.Singular ->
+  | Ape_util.Matrix.Singular | Ape_util.Sparse.Singular ->
     pf "singular system: the deck has no unique solution\n";
     1
   | Ape_estimator.Opamp.Infeasible msg ->
@@ -80,6 +80,20 @@ let trace_arg =
           "Record observability data (solver counters, span timings, \
            histograms) during the run and print it afterwards.  Results \
            are bit-identical with or without this flag.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("dense", Ape_spice.Backend.Dense);
+             ("sparse", Ape_spice.Backend.Sparse) ])
+        (Ape_spice.Backend.current ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Linear-solver engine: $(b,dense) (the reference dense LU) or \
+           $(b,sparse) (symbolic-once/numeric-many sparse LU).  Defaults \
+           to the $(b,APE_ENGINE) environment variable, else dense.")
 
 let with_trace trace f =
   if not trace then f ()
@@ -311,7 +325,8 @@ let synth_cmd =
   in
   let run gain ugf ibias cl buffer zout wilson cascode mode seed area
       mc_samples jobs chains exchange_period cache_quantum cache_capacity
-      trace =
+      engine trace =
+    Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     guard @@ fun () ->
     let buffer, bias, zout = topology buffer wilson cascode zout in
@@ -385,7 +400,7 @@ let synth_cmd =
       const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
       $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg
       $ mc_samples_arg $ jobs_arg $ chains_arg $ exchange_period_arg
-      $ cache_quantum_arg $ cache_capacity_arg $ trace_arg)
+      $ cache_quantum_arg $ cache_capacity_arg $ engine_arg $ trace_arg)
 
 (* ---------- ape mc ---------- *)
 
@@ -432,7 +447,8 @@ let mc_cmd =
           ~doc:"Print an ASCII histogram of this metric (repeatable).")
   in
   let run kind gain ugf ibias cl buffer zout wilson cascode samples jobs seed
-      level sigma_scale hists trace =
+      level sigma_scale hists engine trace =
+    Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     guard @@ fun () ->
     if kind <> "opamp" then begin
@@ -472,7 +488,7 @@ let mc_cmd =
       const run $ kind_arg $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg
       $ buffer_arg $ zout_arg $ wilson_arg $ cascode_arg $ samples_arg
       $ jobs_arg $ seed_arg $ level_arg $ sigma_scale_arg $ hist_arg
-      $ trace_arg)
+      $ engine_arg $ trace_arg)
 
 (* ---------- ape sim ---------- *)
 
@@ -485,7 +501,18 @@ let sim_cmd =
       value & opt (some string) None
       & info [ "out" ] ~doc:"Output node for AC measurements.")
   in
-  let run file out trace =
+  let det_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Engine-comparable output: sorted node voltages and AC \
+             measurements with fixed formatting, omitting data that may \
+             legitimately differ between engines (Newton iteration \
+             counts).  Used by CI to diff dense against sparse.")
+  in
+  let run file out det engine trace =
+    Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     match Ape_circuit.Spice_parser.parse ~process:proc ~title:file text with
@@ -499,7 +526,11 @@ let sim_cmd =
         pf "DC did not converge: %s\n" msg;
         1
       | op ->
-        pf "%s" (Format.asprintf "%a" Ape_spice.Dc.pp op);
+        (if det then
+           List.iter
+             (fun n -> pf "V(%s) = %.6g\n" n (Ape_spice.Dc.voltage op n))
+             (List.sort compare (Ape_circuit.Netlist.nodes netlist))
+         else pf "%s" (Format.asprintf "%a" Ape_spice.Dc.pp op));
         (match out with
         | None -> ()
         | Some node ->
@@ -509,10 +540,14 @@ let sim_cmd =
           pf "AC (node %s):\n" node;
           pf "  |H(0)| = %.4g\n" (M.dc_gain ~out:node prep);
           (match M.f_minus_3db ~out:node prep with
-          | Some f -> pf "  f-3dB  = %sHz\n" (eng f)
+          | Some f ->
+            if det then pf "  f-3dB  = %.4g Hz\n" f
+            else pf "  f-3dB  = %sHz\n" (eng f)
           | None -> ());
           (match M.unity_gain_frequency ~out:node prep with
-          | Some f -> pf "  UGF    = %sHz\n" (eng f)
+          | Some f ->
+            if det then pf "  UGF    = %.4g Hz\n" f
+            else pf "  UGF    = %sHz\n" (eng f)
           | None -> ());
           match M.phase_margin ~out:node prep with
           | Some pm -> pf "  PM     = %.1f deg\n" pm
@@ -521,7 +556,7 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Solve a SPICE netlist (DC + AC measurements).")
-    Term.(const run $ file_arg $ out_arg $ trace_arg)
+    Term.(const run $ file_arg $ out_arg $ det_arg $ engine_arg $ trace_arg)
 
 (* ---------- ape verify ---------- *)
 
@@ -563,7 +598,8 @@ let verify_cmd =
       & info [ "no-slew" ]
           ~doc:"Skip the opamp transient slew measurement (faster).")
   in
-  let run levels golden no_golden update tsv no_slew trace =
+  let run levels golden no_golden update tsv no_slew engine trace =
+    Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     guard @@ fun () ->
     let levels =
@@ -593,7 +629,7 @@ let verify_cmd =
           attribute against its tolerance and the golden tables.")
     Term.(
       const run $ level_arg $ golden_arg $ no_golden_arg $ update_arg
-      $ tsv_arg $ no_slew_arg $ trace_arg)
+      $ tsv_arg $ no_slew_arg $ engine_arg $ trace_arg)
 
 (* ---------- ape serve ---------- *)
 

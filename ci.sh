@@ -6,11 +6,16 @@ set -eu
 echo "== dune build @all =="
 dune build @all
 
-echo "== dune runtest =="
+echo "== dune runtest (dense engine) =="
 dune runtest
 
-echo "== ape verify (APE vs SPICE differential gate) =="
+echo "== dune runtest (sparse engine) =="
+# dune caches runtest results without tracking env vars: force a re-run.
+APE_ENGINE=sparse dune runtest --force
+
+echo "== ape verify (APE vs SPICE differential gate, both engines) =="
 dune exec bin/ape.exe -- verify --golden test/golden
+dune exec bin/ape.exe -- verify --engine sparse --golden test/golden
 
 echo "== prepared-solve AC equivalence (bit-identity vs solve_at) =="
 dune exec test/test_spice.exe -- test prepared
@@ -89,6 +94,27 @@ awk -F': *|,' '/"speedup"/ { speedup = $2 }
     printf "serve warm/cold speedup %.2fx >= 2x OK\n", speedup
   }' BENCH_serve.json
 echo "archived BENCH_serve.json"
+
+echo "== sparse engine differential (ape sim --deterministic, dense vs sparse) =="
+dune exec bin/ape.exe -- sim examples/jobs/rc.sp --out out --deterministic \
+  --engine dense > /tmp/ape_sim_dense.txt
+dune exec bin/ape.exe -- sim examples/jobs/rc.sp --out out --deterministic \
+  --engine sparse > /tmp/ape_sim_sparse.txt
+diff /tmp/ape_sim_dense.txt /tmp/ape_sim_sparse.txt
+rm -f /tmp/ape_sim_dense.txt /tmp/ape_sim_sparse.txt
+
+echo "== sparse engine bench (>= 3x on the 200-section ladder sweep) =="
+dune exec bench/main.exe -- sparse
+awk -F': *|,' '/"speedup"/ && !/"curve"/ { speedup = $2 }
+  /"max_rel_err"/ { err = $2 }
+  /"unstable_refactorizations"/ { unstable = $2 }
+  END {
+    if (err + 0. > 1e-8) { printf "FAIL: dense/sparse drift %g > 1e-8\n", err; exit 1 }
+    if (unstable + 0. != 0) { printf "FAIL: %d unstable refactorizations\n", unstable; exit 1 }
+    if (speedup + 0. < 3.0) { printf "FAIL: sparse speedup %.2fx < 3x\n", speedup; exit 1 }
+    printf "sparse speedup %.2fx >= 3x, max drift %g OK\n", speedup, err
+  }' BENCH_sparse.json
+echo "archived BENCH_sparse.json"
 
 echo "== ape mc determinism (jobs 1 vs jobs 4) =="
 dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 1 \

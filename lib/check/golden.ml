@@ -80,13 +80,24 @@ let same rtol a b =
 let describe golden fresh =
   Printf.sprintf "golden %s, fresh %s" (cell golden) (cell fresh)
 
+(* Ill-conditioned measurements where a last-bit difference in the
+   underlying solve is legitimately amplified far beyond [rtol].  CMRR
+   divides the differential gain by a common-mode gain that is itself a
+   near-perfect cancellation, so switching the linear-solver engine
+   (dense vs sparse elimination order, ~1e-15 on the raw solution)
+   moves it by up to ~1e-3 relative.  The differential suite in
+   test/test_sparse.ml pins the raw-solution agreement much tighter. *)
+let attr_rtol ~rtol attr =
+  match attr with "cmrr" -> Float.max rtol 1e-3 | _ -> rtol
+
 let compare_rows ?(rtol = 1e-6) ~golden rows =
   let fresh = entries_of_rows rows in
   let key (e : entry) = (e.case, e.attr) in
   let drifts = ref [] in
   let push case attr what = drifts := { case; attr; what } :: !drifts in
   List.iter
-    (fun g ->
+    (fun (g : entry) ->
+      let rtol = attr_rtol ~rtol g.attr in
       match List.find_opt (fun f -> key f = key g) fresh with
       | None -> push g.case g.attr "row disappeared from the fresh run"
       | Some f ->

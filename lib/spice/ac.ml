@@ -61,63 +61,96 @@ let solve_at (op : Dc.op) freq =
 (* Prepared solves: stamp once, evaluate per frequency.                *)
 (* ------------------------------------------------------------------ *)
 
-type prepared = {
-  p_op : Dc.op;
-  size : int;
+module Sp = Ape_util.Sparse
+
+type dense_prep = {
   g : float array array;
       (** conductance (DC Jacobian), read-only after prepare *)
   c : float array array;  (** capacitance, read-only after prepare *)
-  rhs : Complex.t array;  (** AC excitation pattern, read-only *)
   work : Ape_util.Matrix.Csplit.t;
       (** G + jωC assembly (split re/im), overwritten per solve *)
   perm : int array;  (** LU pivot workspace *)
+}
+
+type sparse_prep = {
+  sp_g : Sp.Real.t;  (** conductance slots, read-only after prepare *)
+  sp_c : Sp.Real.t;  (** capacitance slots, read-only after prepare *)
+  sp_vals : Sp.Csplit.t;  (** G + jωC assembly, overwritten per solve *)
+  sp_fac : Sp.Csplit.factor;
+      (** symbolic analysis pinned at ω = 0 (the DC Jacobian); numeric
+          part refactored per frequency *)
+}
+
+type impl = Dense_prep of dense_prep | Sparse_prep of sparse_prep
+
+type prepared = {
+  p_op : Dc.op;
+  size : int;
+  rhs : Complex.t array;  (** AC excitation pattern, read-only *)
+  impl : impl;
 }
 
 let prepare (op : Dc.op) =
   Ape_obs.incr c_prepare;
   let netlist = op.Dc.netlist and index = op.Dc.index in
   let n = Engine.size index in
-  let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
-  let c = Engine.stamp_capacitances netlist index op.Dc.x in
-  {
-    p_op = op;
-    size = n;
-    (* Plain float snapshots: row access in the per-frequency assembly
-       loop goes straight to unboxed storage, no functor call. *)
-    g = Rmat.to_arrays g;
-    c = Rmat.to_arrays c;
-    rhs = stamp_rhs op;
-    work = Ape_util.Matrix.Csplit.create n;
-    perm = Array.make n 0;
-  }
+  let impl =
+    match Backend.current () with
+    | Backend.Dense ->
+      let _, g = Engine.residual_jacobian ~gmin:1e-12 netlist index op.Dc.x in
+      let c = Engine.stamp_capacitances netlist index op.Dc.x in
+      Dense_prep
+        {
+          (* Plain float snapshots: row access in the per-frequency
+             assembly loop goes straight to unboxed storage, no functor
+             call. *)
+          g = Rmat.to_arrays g;
+          c = Rmat.to_arrays c;
+          work = Ape_util.Matrix.Csplit.create n;
+          perm = Array.make n 0;
+        }
+    | Backend.Sparse ->
+      let plan = Engine.plan netlist index in
+      let pat = Engine.plan_pattern plan in
+      let sp_g = Sp.Real.create pat in
+      let (_ : float array) =
+        Engine.sparse_residual ~gmin:1e-12 plan netlist index op.Dc.x sp_g
+      in
+      let sp_c = Sp.Real.create pat in
+      Engine.sparse_capacitances plan netlist index op.Dc.x sp_c;
+      let sp_vals = Sp.Csplit.create pat in
+      (* Pivot order fixed at ω = 0, i.e. on the DC Jacobian alone —
+         nonsingular by construction (the operating point converged) and
+         the most stable basis for the low-frequency end of a sweep.
+         Every per-frequency solve is then a numeric refactorisation. *)
+      Sp.Csplit.assemble_gc sp_vals ~g:sp_g ~c:sp_c ~omega:0.;
+      let sp_fac = Sp.Csplit.factor sp_vals in
+      Sparse_prep { sp_g; sp_c; sp_vals; sp_fac }
+  in
+  { p_op = op; size = n; rhs = stamp_rhs op; impl }
 
 let op p = p.p_op
+
+(* ------------------------- dense path ----------------------------- *)
 
 (* Fill [dst] with G + jωC.  The entry values are exactly the ones
    {!solve_at} assembles: when both stamps are zero the complex entry is
    (0, ω·0) = Complex.zero, so skipping the sparsity test changes
    nothing bitwise. *)
-let assemble p omega dst =
-  let n = p.size in
+let assemble d ~n omega dst =
   for i = 0 to n - 1 do
-    let gi = p.g.(i) and ci = p.c.(i) in
+    let gi = d.g.(i) and ci = d.c.(i) in
     for j = 0 to n - 1 do
       Cmat.set dst i j (complex gi.(j) (omega *. ci.(j)))
     done
   done
 
-let matrix_at p freq =
-  let a = Cmat.create p.size p.size in
-  assemble p (2. *. Float.pi *. freq) a;
-  a
-
 (* Same fill into a split-storage workspace — identical entry values,
    just stored as separate re/im floats for the allocation-free LU. *)
-let assemble_split p omega (dst : Ape_util.Matrix.Csplit.t) =
-  let n = p.size in
+let assemble_split d ~n omega (dst : Ape_util.Matrix.Csplit.t) =
   for i = 0 to n - 1 do
-    Array.blit p.g.(i) 0 dst.Ape_util.Matrix.Csplit.re.(i) 0 n;
-    let ci = p.c.(i) and dim = dst.Ape_util.Matrix.Csplit.im.(i) in
+    Array.blit d.g.(i) 0 dst.Ape_util.Matrix.Csplit.re.(i) 0 n;
+    let ci = d.c.(i) and dim = dst.Ape_util.Matrix.Csplit.im.(i) in
     for j = 0 to n - 1 do
       dim.(j) <- omega *. ci.(j)
     done
@@ -125,20 +158,68 @@ let assemble_split p omega (dst : Ape_util.Matrix.Csplit.t) =
 
 (* Core evaluation given an assembly workspace and pivot workspace; the
    solution vector escapes, so it is the one unavoidable allocation. *)
-let solve_in p ~work ~perm freq =
-  Ape_obs.incr c_solve_prepared;
-  assemble_split p (2. *. Float.pi *. freq) work;
+let dense_solve_in p d ~work ~perm freq =
+  assemble_split d ~n:p.size (2. *. Float.pi *. freq) work;
   Ape_util.Matrix.Csplit.factor_in_place work perm;
   { freq; x = Ape_util.Matrix.Csplit.solve work perm p.rhs }
 
-let solve_prepared p freq = solve_in p ~work:p.work ~perm:p.perm freq
+(* ------------------------- sparse path ---------------------------- *)
 
-(* Parallel-safe variant: fresh workspaces, touching only the read-only
-   parts of [p].  Used by the domain-parallel sweep below. *)
+(* Per-frequency evaluation: assemble G + jωC into the slot values and
+   replay the ω=0 pivot sequence numerically.  When the frozen pivots go
+   bad at some frequency (values far from the DC basis), fall back to a
+   local fresh pivoting factorisation for that point only — [fac] is
+   left untouched by the fallback, so a sweep's points never depend on
+   the order frequencies are visited in. *)
+let sparse_solve p s ~vals ~fac freq =
+  let omega = 2. *. Float.pi *. freq in
+  Sp.Csplit.assemble_gc vals ~g:s.sp_g ~c:s.sp_c ~omega;
+  let x =
+    match Sp.Csplit.refactor fac vals with
+    | () -> Sp.Csplit.solve fac p.rhs
+    | exception Sp.Unstable -> Sp.Csplit.solve (Sp.Csplit.factor vals) p.rhs
+  in
+  { freq; x }
+
+let matrix_at p freq =
+  let omega = 2. *. Float.pi *. freq in
+  let a = Cmat.create p.size p.size in
+  (match p.impl with
+  | Dense_prep d -> assemble d ~n:p.size omega a
+  | Sparse_prep s ->
+    (* Structural entries carry the same bitwise values as the dense
+       assembly (same stamp adds in the same order); entries outside the
+       pattern are exactly the dense path's (0, ω·0) = zero. *)
+    Sp.iter
+      (Sp.Real.pattern s.sp_g)
+      (fun slot row col ->
+        let gv = Sp.Real.get_slot s.sp_g slot
+        and cv = Sp.Real.get_slot s.sp_c slot in
+        Cmat.set a row col (complex gv (omega *. cv))));
+  a
+
+let solve_prepared p freq =
+  Ape_obs.incr c_solve_prepared;
+  match p.impl with
+  | Dense_prep d -> dense_solve_in p d ~work:d.work ~perm:d.perm freq
+  | Sparse_prep s -> sparse_solve p s ~vals:s.sp_vals ~fac:s.sp_fac freq
+
+(* Parallel-safe variant: fresh workspaces (for sparse, a private clone
+   of the numeric factor over the shared symbolic skeleton), touching
+   only the read-only parts of [p] — and arithmetically identical to
+   {!solve_prepared}, so every [~jobs] value produces the same
+   bit-identical points. *)
 let solve_fresh p freq =
-  solve_in p
-    ~work:(Ape_util.Matrix.Csplit.create p.size)
-    ~perm:(Array.make p.size 0) freq
+  Ape_obs.incr c_solve_prepared;
+  match p.impl with
+  | Dense_prep d ->
+    dense_solve_in p d
+      ~work:(Ape_util.Matrix.Csplit.create p.size)
+      ~perm:(Array.make p.size 0) freq
+  | Sparse_prep s ->
+    sparse_solve p s
+      ~vals:(Sp.Csplit.create (Sp.Real.pattern s.sp_g))
+      ~fac:(Sp.Csplit.clone s.sp_fac) freq
 
 let voltage (op : Dc.op) solution node =
   match Engine.node_id op.Dc.index node with

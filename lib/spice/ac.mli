@@ -13,8 +13,14 @@
       G (conductance) and C (capacitance) matrices plus the RHS pattern,
       after which {!solve_prepared} only assembles [G + jωC] into a
       reusable workspace and factors it — no netlist traversal, no
-      finite-difference Jacobian, no per-call matrix allocation.  The
-      two paths produce bit-identical solutions. *)
+      finite-difference Jacobian, no per-call matrix allocation.
+
+    Under the dense backend ({!Backend.Dense}) the two paths produce
+    bit-identical solutions.  Under {!Backend.Sparse} the prepared path
+    performs one symbolic analysis at ω = 0 and then only numeric
+    refactorisations per frequency; it agrees with the dense reference
+    to rounding (the elimination order differs), which
+    [test/test_sparse.ml] pins differentially on every golden deck. *)
 
 type solution = {
   freq : float;  (** Hz *)
@@ -42,7 +48,8 @@ val op : prepared -> Dc.op
 
 val solve_prepared : prepared -> float -> solution
 (** Assemble [G + jωC] in the preparation's workspace and solve.
-    Bit-identical to [solve_at (op p) freq].  Reuses internal mutable
+    Bit-identical to [solve_at (op p) freq] under the dense backend
+    (agrees to rounding under the sparse one).  Reuses internal mutable
     workspaces: do not call concurrently from several domains on the
     same [prepared] (use {!sweep_prepared}[ ~jobs] for that). *)
 

@@ -1,0 +1,31 @@
+type t = Dense | Sparse
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | _ -> None
+
+let to_string = function Dense -> "dense" | Sparse -> "sparse"
+
+let default () =
+  match Sys.getenv_opt "APE_ENGINE" with
+  | Some s -> ( match of_string s with Some e -> e | None -> Dense)
+  | None -> Dense
+
+let state = ref None
+
+let current () =
+  match !state with
+  | Some e -> e
+  | None ->
+    let e = default () in
+    state := Some e;
+    e
+
+let set e = state := Some e
+
+let use e f =
+  let saved = current () in
+  set e;
+  Fun.protect ~finally:(fun () -> set saved) f

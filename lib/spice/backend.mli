@@ -1,0 +1,26 @@
+(** Linear-solver engine selection.
+
+    [Dense] is the historical dense-LU path ([Matrix.Rmat]/[Csplit]) and
+    stays the differential reference: its arithmetic is bit-for-bit what
+    it was before the sparse engine existed.  [Sparse] routes the AC
+    prepared path and the DC/transient Newton loops through
+    [Ape_util.Sparse]'s symbolic-once/numeric-many LU.
+
+    The default comes from the [APE_ENGINE] environment variable
+    (["sparse"] selects the sparse engine, anything else is dense); the
+    [--engine] CLI flag overrides it via {!set}.  Selection is read at
+    {!Ac.prepare}/solve time, so set it before spawning worker domains. *)
+
+type t = Dense | Sparse
+
+val current : unit -> t
+val set : t -> unit
+
+val use : t -> (unit -> 'a) -> 'a
+(** Run the thunk under a temporary engine selection (restored on
+    exception) — for tests and differential comparisons. *)
+
+val of_string : string -> t option
+(** ["dense"]/["sparse"], case-insensitive. *)
+
+val to_string : t -> string

@@ -65,21 +65,6 @@ let volt idx x n = node_voltage idx x n
 let add_residual idx f n v =
   match node_id idx n with None -> () | Some i -> f.(i) <- f.(i) +. v
 
-let add_jac idx j row col v =
-  match (node_id idx row, node_id idx col) with
-  | Some r, Some c -> Rmat.add_to j r c v
-  | _ -> ()
-
-let add_jac_row_unknown idx j row col_unknown v =
-  match node_id idx row with
-  | Some r -> Rmat.add_to j r col_unknown v
-  | None -> ()
-
-let add_jac_unknown_col idx j row_unknown col v =
-  match node_id idx col with
-  | Some c -> Rmat.add_to j row_unknown c v
-  | None -> ()
-
 let source_value ~time ~stimulus ~name ~dc =
   match stimulus with
   | [] -> dc
@@ -104,25 +89,42 @@ let mos_partials card geom ~vd ~vg ~vs ~vb =
   let gb = (id vd vg vs (vb +. h) -. id vd vg vs (vb -. h)) /. (2. *. h) in
   (i0, gd, gg, gs, gb)
 
-let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
-    ?(stimulus = []) netlist idx x =
-  let n = idx.total in
-  let f = Array.make n 0. in
-  let j = Rmat.create n n in
+(* Stamping core, parameterised on the Jacobian sink: the dense path
+   passes [Rmat.add_to] (so its arithmetic and call order are exactly
+   the historical ones, keeping dense results bit-identical), the
+   sparse path a slot-cursor writer, and the plan builder a coordinate
+   recorder.  The [add] call sequence is deterministic and independent
+   of [x], [gmin], [source_scale] and [stimulus] — every element stamps
+   the same positions in the same order whatever its state (the Switch
+   stamps both branches identically) — which is what lets one recorded
+   plan replay any number of numeric evaluations. *)
+let stamp_core ~gmin ~source_scale ~time ~stimulus netlist idx x
+    ~(add : int -> int -> float -> unit) f =
+  let add_jac row col v =
+    match (node_id idx row, node_id idx col) with
+    | Some r, Some c -> add r c v
+    | _ -> ()
+  in
+  let add_jac_row_unknown row col_unknown v =
+    match node_id idx row with Some r -> add r col_unknown v | None -> ()
+  in
+  let add_jac_unknown_col row_unknown col v =
+    match node_id idx col with Some c -> add row_unknown c v | None -> ()
+  in
   (* gmin from every node to ground. *)
   for i = 0 to idx.n_nodes - 1 do
     f.(i) <- f.(i) +. (gmin *. x.(i));
-    Rmat.add_to j i i gmin
+    add i i gmin
   done;
   let conductance_stamp a b g =
     let va = volt idx x a and vb = volt idx x b in
     let i = g *. (va -. vb) in
     add_residual idx f a i;
     add_residual idx f b (-.i);
-    add_jac idx j a a g;
-    add_jac idx j a b (-.g);
-    add_jac idx j b a (-.g);
-    add_jac idx j b b g
+    add_jac a a g;
+    add_jac a b (-.g);
+    add_jac b a (-.g);
+    add_jac b b g
   in
   List.iter
     (fun e ->
@@ -145,25 +147,25 @@ let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
         let ibr = x.(br) in
         add_residual idx f p ibr;
         add_residual idx f nn (-.ibr);
-        add_jac_row_unknown idx j p br 1.;
-        add_jac_row_unknown idx j nn br (-1.);
+        add_jac_row_unknown p br 1.;
+        add_jac_row_unknown nn br (-1.);
         f.(br) <- volt idx x p -. volt idx x nn -. value;
-        add_jac_unknown_col idx j br p 1.;
-        add_jac_unknown_col idx j br nn (-1.)
+        add_jac_unknown_col br p 1.;
+        add_jac_unknown_col br nn (-1.)
       | N.Vcvs { name; p; n = nn; cp; cn; gain } ->
         let br = branch_id_exn idx ~analysis:"mna" name in
         let ibr = x.(br) in
         add_residual idx f p ibr;
         add_residual idx f nn (-.ibr);
-        add_jac_row_unknown idx j p br 1.;
-        add_jac_row_unknown idx j nn br (-1.);
+        add_jac_row_unknown p br 1.;
+        add_jac_row_unknown nn br (-1.);
         f.(br) <-
           volt idx x p -. volt idx x nn
           -. (gain *. (volt idx x cp -. volt idx x cn));
-        add_jac_unknown_col idx j br p 1.;
-        add_jac_unknown_col idx j br nn (-1.);
-        add_jac_unknown_col idx j br cp (-.gain);
-        add_jac_unknown_col idx j br cn gain
+        add_jac_unknown_col br p 1.;
+        add_jac_unknown_col br nn (-1.);
+        add_jac_unknown_col br cp (-.gain);
+        add_jac_unknown_col br cn gain
       | N.Mosfet { card; d; g; s; b; geom; _ } ->
         let vd = volt idx x d
         and vg = volt idx x g
@@ -174,25 +176,38 @@ let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
            re-enters the circuit at the source node. *)
         add_residual idx f d i0;
         add_residual idx f s (-.i0);
-        add_jac idx j d d gd;
-        add_jac idx j d g gg;
-        add_jac idx j d s gs;
-        add_jac idx j d b gb;
-        add_jac idx j s d (-.gd);
-        add_jac idx j s g (-.gg);
-        add_jac idx j s s (-.gs);
-        add_jac idx j s b (-.gb))
-    (N.elements netlist);
+        add_jac d d gd;
+        add_jac d g gg;
+        add_jac d s gs;
+        add_jac d b gb;
+        add_jac s d (-.gd);
+        add_jac s g (-.gg);
+        add_jac s s (-.gs);
+        add_jac s b (-.gb))
+    (N.elements netlist)
+
+let residual_jacobian ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
+    ?(stimulus = []) netlist idx x =
+  let n = idx.total in
+  let f = Array.make n 0. in
+  let j = Rmat.create n n in
+  stamp_core ~gmin ~source_scale ~time ~stimulus netlist idx x
+    ~add:(fun r c v -> Rmat.add_to j r c v)
+    f;
   (f, j)
 
-let stamp_capacitances netlist idx x =
-  let n = idx.total in
-  let c = Rmat.create n n in
+(* Capacitance stamping core, same sink parameterisation. *)
+let caps_core netlist idx x ~(add : int -> int -> float -> unit) =
+  let add_jac row col v =
+    match (node_id idx row, node_id idx col) with
+    | Some r, Some c -> add r c v
+    | _ -> ()
+  in
   let cap_stamp a b value =
-    add_jac idx c a a value;
-    add_jac idx c a b (-.value);
-    add_jac idx c b a (-.value);
-    add_jac idx c b b value
+    add_jac a a value;
+    add_jac a b (-.value);
+    add_jac b a (-.value);
+    add_jac b b value
   in
   List.iter
     (fun e ->
@@ -214,8 +229,77 @@ let stamp_capacitances netlist idx x =
         cap_stamp s b ss.Mos.csb
       | N.Resistor _ | N.Vsource _ | N.Isource _ | N.Vcvs _ | N.Switch _ ->
         ())
-    (N.elements netlist);
+    (N.elements netlist)
+
+let stamp_capacitances netlist idx x =
+  let n = idx.total in
+  let c = Rmat.create n n in
+  caps_core netlist idx x ~add:(fun r col v -> Rmat.add_to c r col v);
   c
+
+(* ------------------------------------------------------------------ *)
+(* Sparse stamp plans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sp = Ape_util.Sparse
+
+(* A plan compiles the deterministic stamp sequences into slot arrays
+   over one shared sparsity pattern (the union of Jacobian and
+   capacitance stamps, so one symbolic factorisation serves DC, AC and
+   transient).  Built once per (netlist, index); every numeric pass is
+   then a cursor replay with no hash lookups. *)
+type plan = {
+  p_pattern : Sp.pattern;
+  p_jac : int array;  (* slot of the k-th Jacobian [add] call *)
+  p_cap : int array;  (* slot of the k-th capacitance [add] call *)
+}
+
+let plan netlist idx =
+  let n = idx.total in
+  let x0 = Array.make n 0. in
+  let f0 = Array.make n 0. in
+  let b = Sp.Builder.create n in
+  let jac_coords = ref [] and cap_coords = ref [] in
+  stamp_core ~gmin:1e-12 ~source_scale:1. ~time:0. ~stimulus:[] netlist idx x0
+    ~add:(fun r c _ ->
+      Sp.Builder.add b r c;
+      jac_coords := (r, c) :: !jac_coords)
+    f0;
+  caps_core netlist idx x0 ~add:(fun r c _ ->
+      Sp.Builder.add b r c;
+      cap_coords := (r, c) :: !cap_coords);
+  let pattern = Sp.Builder.compile b in
+  let slots coords =
+    List.rev_map (fun (r, c) -> Sp.slot pattern ~row:r ~col:c) coords
+    |> Array.of_list
+  in
+  { p_pattern = pattern; p_jac = slots !jac_coords; p_cap = slots !cap_coords }
+
+let plan_pattern p = p.p_pattern
+
+let sparse_residual ?(gmin = 1e-12) ?(source_scale = 1.) ?(time = 0.)
+    ?(stimulus = []) plan netlist idx x vals =
+  if Sp.Real.pattern vals != plan.p_pattern then
+    invalid_arg "Engine.sparse_residual: pattern mismatch";
+  Sp.Real.clear vals;
+  let n = idx.total in
+  let f = Array.make n 0. in
+  let cursor = ref 0 in
+  stamp_core ~gmin ~source_scale ~time ~stimulus netlist idx x
+    ~add:(fun _ _ v ->
+      Sp.Real.add_slot vals plan.p_jac.(!cursor) v;
+      incr cursor)
+    f;
+  f
+
+let sparse_capacitances plan netlist idx x vals =
+  if Sp.Real.pattern vals != plan.p_pattern then
+    invalid_arg "Engine.sparse_capacitances: pattern mismatch";
+  Sp.Real.clear vals;
+  let cursor = ref 0 in
+  caps_core netlist idx x ~add:(fun _ _ v ->
+      Sp.Real.add_slot vals plan.p_cap.(!cursor) v;
+      incr cursor)
 
 let mosfet_small_signal netlist idx x =
   List.filter_map

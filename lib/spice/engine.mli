@@ -65,6 +65,46 @@ val stamp_capacitances :
     point [x]: explicit capacitors plus the MOS intrinsic and junction
     capacitances in their bias-dependent values. *)
 
+type plan
+(** A precompiled sparse stamp plan: the union sparsity pattern of the
+    Jacobian and capacitance stamps plus the slot sequence of every
+    [add] call.  Built once per (netlist, index); numeric passes replay
+    the deterministic stamp sequence through a cursor with no hash or
+    binary-search lookups.  The stamp sequence is independent of [x],
+    [gmin], [source_scale], [time] and [stimulus], which is what makes
+    the replay valid. *)
+
+val plan : Ape_circuit.Netlist.t -> index -> plan
+
+val plan_pattern : plan -> Ape_util.Sparse.pattern
+
+val sparse_residual :
+  ?gmin:float ->
+  ?source_scale:float ->
+  ?time:float ->
+  ?stimulus:stimulus ->
+  plan ->
+  Ape_circuit.Netlist.t ->
+  index ->
+  float array ->
+  Ape_util.Sparse.Real.t ->
+  float array
+(** Sparse twin of {!residual_jacobian}: stamps the Jacobian into [vals]
+    (cleared first; must share the plan's pattern) and returns the
+    residual [F(x)].  Each slot value is bitwise equal to the
+    corresponding dense matrix entry — the two engines differ only
+    through elimination order. *)
+
+val sparse_capacitances :
+  plan ->
+  Ape_circuit.Netlist.t ->
+  index ->
+  float array ->
+  Ape_util.Sparse.Real.t ->
+  unit
+(** Sparse twin of {!stamp_capacitances}, stamping into [vals] (cleared
+    first) over the plan's shared pattern. *)
+
 val mosfet_small_signal :
   Ape_circuit.Netlist.t ->
   index ->

@@ -80,12 +80,14 @@ module Make (F : FIELD) = struct
 
   let mat_vec m v =
     if m.nc <> Array.length v then invalid_arg "Matrix.mat_vec";
-    Array.init m.nr (fun i ->
-        let acc = ref F.zero in
-        for j = 0 to m.nc - 1 do
-          acc := F.add !acc (F.mul m.a.(i).(j) v.(j))
-        done;
-        !acc)
+    if m.nr = 0 then [||]  (* explicit empty-system short-circuit *)
+    else
+      Array.init m.nr (fun i ->
+          let acc = ref F.zero in
+          for j = 0 to m.nc - 1 do
+            acc := F.add !acc (F.mul m.a.(i).(j) v.(j))
+          done;
+          !acc)
 
   type lu = { lu_a : F.t array array; perm : int array; n : int }
 
@@ -98,6 +100,10 @@ module Make (F : FIELD) = struct
     for i = 0 to n - 1 do
       perm.(i) <- i
     done;
+    (* n = 0 is a valid empty system: the pivot loop below vanishes and
+       [lu_solve] returns [||].  Kept explicit rather than incidental so
+       the contract survives refactoring — a 0-unknown netlist (ground
+       only) must not trip the singularity test. *)
     for k = 0 to n - 1 do
       let pivot = ref k and best = ref (F.norm a.(k).(k)) in
       for i = k + 1 to n - 1 do
@@ -144,6 +150,8 @@ module Make (F : FIELD) = struct
 
   let lu_solve { lu_a = a; perm; n } b =
     if Array.length b <> n then invalid_arg "Matrix.lu_solve";
+    if n = 0 then [||]  (* explicit empty-system short-circuit *)
+    else begin
     let y = Array.init n (fun i -> b.(perm.(i))) in
     (* Forward substitution with unit-diagonal L. *)
     for i = 1 to n - 1 do
@@ -159,6 +167,7 @@ module Make (F : FIELD) = struct
       y.(i) <- F.div y.(i) a.(i).(i)
     done;
     y
+    end
 
   let solve m b = lu_solve (lu_factor m) b
 
@@ -287,6 +296,8 @@ module Csplit = struct
   let solve m perm (b : Complex.t array) =
     let n = m.n in
     if Array.length b <> n then invalid_arg "Matrix.Csplit.solve";
+    if n = 0 then [||]  (* explicit empty-system short-circuit *)
+    else begin
     let yre = Array.init n (fun i -> b.(perm.(i)).Complex.re) in
     let yim = Array.init n (fun i -> b.(perm.(i)).Complex.im) in
     (* Forward substitution with unit-diagonal L. *)
@@ -311,4 +322,5 @@ module Csplit = struct
       yim.(i) <- im
     done;
     Array.init n (fun i -> { Complex.re = yre.(i); im = yim.(i) })
+    end
 end

@@ -32,7 +32,11 @@ module Make (F : FIELD) : sig
   type t
 
   val create : int -> int -> t
-  (** [create rows cols], initialised to zero. *)
+  (** [create rows cols], initialised to zero.  A dimension of 0 is
+      valid (and arises from a ground-only netlist with no unknowns):
+      the empty system is trivially nonsingular — {!lu_factor} succeeds,
+      {!lu_solve} and {!mat_vec} return [[||]].  Negative dimensions
+      raise [Invalid_argument]. *)
 
   val identity : int -> t
   val rows : t -> int

@@ -1,0 +1,530 @@
+(* Differential test harness for the sparse MNA engine.
+
+   [Ape_util.Sparse] has no bit-identity contract with the dense LU
+   (the elimination order differs), so these tests pin the actual
+   guarantees: sparse solves agree with [Matrix] dense solves to tight
+   tolerances on random MNA-shaped systems; the engine-switched AC/DC/
+   transient paths agree with the dense reference on every golden deck;
+   refactorisation replays are exact; parallel sweeps are bit-identical
+   to sequential ones for any [~jobs]; and the Newton counter
+   invariants survive the engine swap. *)
+
+module Sp = Ape_util.Sparse
+module Rmat = Ape_util.Matrix.Rmat
+module Cmat = Ape_util.Matrix.Cmat
+module N = Ape_circuit.Netlist
+module Dc = Ape_spice.Dc
+module Ac = Ape_spice.Ac
+module Tr = Ape_spice.Transient
+module Backend = Ape_spice.Backend
+
+let proc = Ape_process.Process.c12
+
+(* ---------- pattern / builder ---------- *)
+
+let test_builder_basics () =
+  let b = Sp.Builder.create 3 in
+  Sp.Builder.add b 0 0;
+  Sp.Builder.add b 2 1;
+  Sp.Builder.add b 0 0;
+  (* duplicate collapses *)
+  Sp.Builder.add b 1 2;
+  Sp.Builder.add b 2 2;
+  let p = Sp.Builder.compile b in
+  Alcotest.(check int) "dim" 3 (Sp.dim p);
+  Alcotest.(check int) "nnz (dups collapsed)" 4 (Sp.nnz p);
+  (* Slots are column-major, rows ascending within a column. *)
+  let seen = ref [] in
+  Sp.iter p (fun slot row col -> seen := (slot, row, col) :: !seen);
+  Alcotest.(check (list (triple int int int)))
+    "iter order"
+    [ (0, 0, 0); (1, 2, 1); (2, 1, 2); (3, 2, 2) ]
+    (List.rev !seen);
+  Alcotest.(check int) "slot lookup" 2 (Sp.slot p ~row:1 ~col:2);
+  Alcotest.check_raises "absent entry" Not_found (fun () ->
+      ignore (Sp.slot p ~row:1 ~col:0));
+  Alcotest.(check bool) "builder range check" true
+    (match Sp.Builder.add b 3 0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_min_degree_permutation () =
+  let b = Sp.Builder.create 5 in
+  (* Arrow matrix: dense last row/col + diagonal. *)
+  for i = 0 to 4 do
+    Sp.Builder.add b i i;
+    Sp.Builder.add b 4 i;
+    Sp.Builder.add b i 4
+  done;
+  let q = Sp.min_degree (Sp.Builder.compile b) in
+  Alcotest.(check int) "length" 5 (Array.length q);
+  let seen = Array.make 5 false in
+  Array.iter (fun j -> seen.(j) <- true) q;
+  Alcotest.(check bool) "is a permutation" true (Array.for_all Fun.id seen);
+  (* The dense hub must be eliminated last: anything else fills in. *)
+  Alcotest.(check int) "hub last" 4 q.(4)
+
+(* ---------- degenerate systems ---------- *)
+
+let test_empty_system () =
+  let p = Sp.Builder.compile (Sp.Builder.create 0) in
+  Alcotest.(check int) "0 dim" 0 (Sp.dim p);
+  let v = Sp.Real.create p in
+  let f = Sp.Real.factor v in
+  Alcotest.(check int) "0x0 solve" 0 (Array.length (Sp.Real.solve f [||]));
+  Sp.Real.refactor f v;
+  Alcotest.(check int) "lnz" 0 (Sp.Real.lnz f);
+  Alcotest.(check int) "unz" 0 (Sp.Real.unz f)
+
+let test_one_by_one () =
+  let b = Sp.Builder.create 1 in
+  Sp.Builder.add b 0 0;
+  let p = Sp.Builder.compile b in
+  let v = Sp.Real.create p in
+  Sp.Real.add_slot v 0 4.;
+  let f = Sp.Real.factor v in
+  Alcotest.(check (float 1e-12)) "1x1 solve" 2. (Sp.Real.solve f [| 8. |]).(0);
+  Sp.Real.set_slot v 0 0.;
+  Alcotest.check_raises "numerically singular 1x1" Sp.Singular (fun () ->
+      ignore (Sp.Real.factor v))
+
+let test_structurally_singular () =
+  (* Column 1 has no entries: no pivot can exist. *)
+  let b = Sp.Builder.create 2 in
+  Sp.Builder.add b 0 0;
+  Sp.Builder.add b 1 0;
+  let p = Sp.Builder.compile b in
+  let v = Sp.Real.create p in
+  Sp.Real.add_slot v (Sp.slot p ~row:0 ~col:0) 1.;
+  Sp.Real.add_slot v (Sp.slot p ~row:1 ~col:0) 2.;
+  Alcotest.check_raises "empty column" Sp.Singular (fun () ->
+      ignore (Sp.Real.factor v))
+
+let test_numerically_singular () =
+  let b = Sp.Builder.create 2 in
+  List.iter
+    (fun (r, c) -> Sp.Builder.add b r c)
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  let p = Sp.Builder.compile b in
+  let v = Sp.Real.create p in
+  let set r c x = Sp.Real.set_slot v (Sp.slot p ~row:r ~col:c) x in
+  (* Rank 1: [[1; 2]; [2; 4]]. *)
+  set 0 0 1.;
+  set 0 1 2.;
+  set 1 0 2.;
+  set 1 1 4.;
+  Alcotest.check_raises "rank deficient" Sp.Singular (fun () ->
+      ignore (Sp.Real.factor v))
+
+let test_unstable_refactor () =
+  let b = Sp.Builder.create 2 in
+  List.iter
+    (fun (r, c) -> Sp.Builder.add b r c)
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  let p = Sp.Builder.compile b in
+  let v = Sp.Real.create p in
+  let set r c x = Sp.Real.set_slot v (Sp.slot p ~row:r ~col:c) x in
+  set 0 0 2.;
+  set 0 1 1.;
+  set 1 0 1.;
+  set 1 1 2.;
+  let f = Sp.Real.factor v in
+  (* New values make the frozen (0,0) pivot vanish relative to its
+     column: the replay must refuse rather than divide by ~0. *)
+  set 0 0 1e-20;
+  set 0 1 1.;
+  set 1 0 1.;
+  set 1 1 1.;
+  Alcotest.check_raises "frozen pivot degenerated" Sp.Unstable (fun () ->
+      Sp.Real.refactor f v);
+  (* A fresh pivoting factorisation handles the same values fine. *)
+  let f2 = Sp.Real.factor v in
+  let x = Sp.Real.solve f2 [| 1.; 1. |] in
+  Alcotest.(check bool) "fresh factor recovers" true
+    (Float.abs (x.(0) -. 0.) < 1e-9 && Float.abs (x.(1) -. 1.) < 1e-9)
+
+let test_clone_independent () =
+  let b = Sp.Builder.create 2 in
+  List.iter
+    (fun (r, c) -> Sp.Builder.add b r c)
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  let p = Sp.Builder.compile b in
+  let v = Sp.Real.create p in
+  let set r c x = Sp.Real.set_slot v (Sp.slot p ~row:r ~col:c) x in
+  set 0 0 4.;
+  set 0 1 1.;
+  set 1 0 1.;
+  set 1 1 3.;
+  let f = Sp.Real.factor v in
+  let x_before = Sp.Real.solve f [| 1.; 2. |] in
+  let g = Sp.Real.clone f in
+  (* Refactor only the clone with different values. *)
+  set 0 0 10.;
+  Sp.Real.refactor g v;
+  let x_after = Sp.Real.solve f [| 1.; 2. |] in
+  Alcotest.(check bool) "original factor untouched by clone refactor" true
+    (x_before.(0) = x_after.(0) && x_before.(1) = x_after.(1));
+  let y = Sp.Real.solve g [| 1.; 2. |] in
+  Alcotest.(check bool) "clone solves the new values" true
+    (Float.abs ((10. *. y.(0)) +. y.(1) -. 1.) < 1e-9)
+
+(* ---------- random MNA-shaped systems vs the dense reference ---------- *)
+
+(* MNA shape: strong banded diagonal block (node conductances) plus a
+   few off-band couplings and zero-diagonal "branch" rows coupled like a
+   voltage source (the part that forces real pivoting). *)
+let mna_system_gen =
+  QCheck.Gen.(
+    int_range 2 12 >>= fun n_nodes ->
+    int_range 0 (min 2 (n_nodes - 1)) >>= fun n_branch ->
+    let n = n_nodes + n_branch in
+    list_size (return (n_nodes * 3)) (float_range 0.1 2.) >>= fun offs ->
+    int_range 0 (n_nodes - 1) >>= fun b0 ->
+    (* Distinct branch nodes by construction: two sources on the same
+       node would make the system exactly singular (identical rows). *)
+    let bnodes = List.init n_branch (fun k -> (b0 + k) mod n_nodes) in
+    return (n_nodes, n, offs, bnodes))
+
+let build_mna (n_nodes, n, offs, bnodes) =
+  let dense = Rmat.create n n in
+  (* Banded conductance block, diagonally dominant. *)
+  List.iteri
+    (fun k g ->
+      let i = k mod n_nodes in
+      let j = (i + 1 + (k / n_nodes)) mod n_nodes in
+      if i <> j then begin
+        Rmat.add_to dense i j (-.g);
+        Rmat.add_to dense j i (-.g);
+        Rmat.add_to dense i i g;
+        Rmat.add_to dense j j g
+      end)
+    offs;
+  for i = 0 to n_nodes - 1 do
+    Rmat.add_to dense i i 1.
+  done;
+  (* Voltage-source-like branch rows: zero diagonal, +-1 couplings. *)
+  List.iteri
+    (fun k node ->
+      let br = n_nodes + k in
+      Rmat.add_to dense node br 1.;
+      Rmat.add_to dense br node 1.)
+    bnodes;
+  let b = Sp.Builder.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Rmat.get dense i j <> 0. then Sp.Builder.add b i j
+    done
+  done;
+  let p = Sp.Builder.compile b in
+  let v = Sp.Real.create p in
+  Sp.iter p (fun s row col -> Sp.Real.set_slot v s (Rmat.get dense row col));
+  (dense, p, v)
+
+let rel_err x y =
+  let scale =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1e-30 x
+  in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i v -> worst := Float.max !worst (Float.abs (v -. y.(i)) /. scale))
+    x;
+  !worst
+
+let prop_sparse_matches_dense =
+  QCheck.Test.make ~name:"sparse LU matches dense LU within 1e-10" ~count:200
+    (QCheck.make mna_system_gen) (fun sys ->
+      let dense, _, v = build_mna sys in
+      let n = Rmat.rows dense in
+      let b = Array.init n (fun i -> Float.sin (float_of_int (i + 1))) in
+      let x_dense = Rmat.solve dense b in
+      let x_sparse = Sp.Real.solve (Sp.Real.factor v) b in
+      rel_err x_dense x_sparse <= 1e-10)
+
+let prop_refactor_matches_fresh =
+  QCheck.Test.make
+    ~name:"numeric refactor equals dense solve on perturbed values"
+    ~count:200 (QCheck.make mna_system_gen) (fun sys ->
+      let dense, p, v = build_mna sys in
+      let n = Rmat.rows dense in
+      let f = Sp.Real.factor v in
+      (* Perturb every entry by a smooth +-10% and replay numerics
+         only. *)
+      Sp.iter p (fun s row col ->
+          let x = Rmat.get dense row col in
+          let x' = x *. (1. +. (0.1 *. Float.sin (float_of_int (s + 1)))) in
+          Rmat.set dense row col x';
+          Sp.Real.set_slot v s x');
+      match Sp.Real.refactor f v with
+      | exception Sp.Unstable -> QCheck.assume_fail ()
+      | () ->
+        let b = Array.init n (fun i -> Float.cos (float_of_int i)) in
+        let x_dense = Rmat.solve dense b in
+        let x_sparse = Sp.Real.solve f b in
+        rel_err x_dense x_sparse <= 1e-10)
+
+let prop_csplit_matches_cmat =
+  QCheck.Test.make ~name:"complex sparse LU matches Cmat within 1e-10"
+    ~count:200 (QCheck.make mna_system_gen) (fun sys ->
+      let dense, p, _ = build_mna sys in
+      let n = Rmat.rows dense in
+      let a = Cmat.create n n in
+      let v = Sp.Csplit.create p in
+      Sp.iter p (fun s row col ->
+          let re = Rmat.get dense row col in
+          let im = 0.3 *. Float.sin (float_of_int (s + 2)) in
+          Cmat.set a row col { Complex.re; im };
+          Sp.Csplit.set_slot v s re im);
+      let b =
+        Array.init n (fun i ->
+            { Complex.re = 1. /. float_of_int (i + 1); im = 0.5 })
+      in
+      let x_dense = Cmat.solve a b in
+      let x_sparse = Sp.Csplit.solve (Sp.Csplit.factor v) b in
+      let scale =
+        Array.fold_left
+          (fun acc (z : Complex.t) -> Float.max acc (Complex.norm z))
+          1e-30 x_dense
+      in
+      let worst = ref 0. in
+      Array.iteri
+        (fun i (z : Complex.t) ->
+          worst :=
+            Float.max !worst (Complex.norm (Complex.sub z x_sparse.(i)) /. scale))
+        x_dense;
+      !worst <= 1e-10)
+
+(* ---------- golden decks: engine-switched analyses ---------- *)
+
+let golden_decks () =
+  let dir =
+    List.find Sys.file_exists
+      [ Filename.concat "golden" "decks"; Filename.concat "test" "golden/decks" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sp")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+let parse_deck file =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  Ape_circuit.Spice_parser.parse ~process:proc ~title:file text
+
+let test_golden_sweep_differential () =
+  (* Documented tolerance: the engines share stamp values bit-for-bit
+     but eliminate in different orders, so solutions agree only to
+     rounding.  1e-8 relative is ~6 orders of slack over the observed
+     worst case (~1e-15) while still catching any structural bug. *)
+  let tol = 1e-8 in
+  let freqs = Ac.sweep_frequencies ~fstart:1e2 ~fstop:1e9 () in
+  let checked = ref 0 in
+  List.iter
+    (fun file ->
+      match parse_deck file with
+      | exception _ -> ()
+      | deck -> (
+        match Dc.solve deck with
+        | exception Dc.No_convergence _ -> ()
+        | _ ->
+          incr checked;
+          let points engine =
+            Backend.use engine (fun () ->
+                let op = Dc.solve deck in
+                (Ac.sweep_prepared (Ac.prepare op) freqs).Ac.points)
+          in
+          List.iter2
+            (fun (d : Ac.solution) (s : Ac.solution) ->
+              let scale =
+                Array.fold_left
+                  (fun acc (z : Complex.t) -> Float.max acc (Complex.norm z))
+                  1e-12 d.Ac.x
+              in
+              Array.iteri
+                (fun i (z : Complex.t) ->
+                  let err = Complex.norm (Complex.sub z s.Ac.x.(i)) /. scale in
+                  if err > tol then
+                    Alcotest.failf "%s: dense/sparse drift %g at %g Hz (x%d)"
+                      file err d.Ac.freq i)
+                d.Ac.x)
+            (points Backend.Dense) (points Backend.Sparse)))
+    (golden_decks ());
+  Alcotest.(check bool) "checked several decks" true (!checked >= 3)
+
+let test_golden_sweep_jobs_bitwise () =
+  (* Under the sparse engine, parallel sweeps must stay bit-identical
+     to sequential ones: every domain refactors its own clone of the
+     shared symbolic factor with identical arithmetic. *)
+  Backend.use Backend.Sparse @@ fun () ->
+  let freqs = Ac.sweep_frequencies ~fstart:1e2 ~fstop:1e9 () in
+  List.iter
+    (fun file ->
+      match Dc.solve (parse_deck file) with
+      | exception Dc.No_convergence _ -> ()
+      | op ->
+        let p = Ac.prepare op in
+        let s1 = (Ac.sweep_prepared ~jobs:1 p freqs).Ac.points in
+        let s3 = (Ac.sweep_prepared ~jobs:3 p freqs).Ac.points in
+        List.iter2
+          (fun (a : Ac.solution) (b : Ac.solution) ->
+            Array.iteri
+              (fun i (u : Complex.t) ->
+                let v = b.Ac.x.(i) in
+                if not (u.Complex.re = v.Complex.re && u.Complex.im = v.Complex.im)
+                then
+                  Alcotest.failf "%s: jobs=1 vs jobs=3 differ at %g Hz" file
+                    a.Ac.freq)
+              a.Ac.x)
+          s1 s3)
+    (golden_decks ())
+
+let test_golden_dc_differential () =
+  List.iter
+    (fun file ->
+      let deck = parse_deck file in
+      let solve engine =
+        Backend.use engine (fun () ->
+            match Dc.solve deck with
+            | exception Dc.No_convergence _ -> None
+            | op -> Some op.Dc.x)
+      in
+      match (solve Backend.Dense, solve Backend.Sparse) with
+      | Some xd, Some xs ->
+        if rel_err xd xs > 1e-6 then
+          Alcotest.failf "%s: DC dense/sparse drift %g" file (rel_err xd xs)
+      | None, None -> ()
+      | _ -> Alcotest.failf "%s: engines disagree about convergence" file)
+    (golden_decks ())
+
+(* ---------- transient invariants under the sparse engine ---------- *)
+
+let counter snap name =
+  try List.assoc name snap.Ape_obs.counters with Not_found -> 0
+
+let test_transient_counters_sparse () =
+  Backend.use Backend.Sparse @@ fun () ->
+  let deck = parse_deck (List.hd (golden_decks ())) in
+  Ape_obs.enable ();
+  Ape_obs.reset ();
+  let op = Dc.solve deck in
+  let source =
+    List.find_map
+      (fun e -> match e with N.Vsource { name; _ } -> Some name | _ -> None)
+      (N.elements deck)
+    |> Option.get
+  in
+  let stim = [ (source, Tr.step ~t0:1e-7 ~high:1. ()) ] in
+  let _ = Tr.run ~stimulus:stim ~tstop:2e-6 ~dt:2e-8 op in
+  let snap = Ape_obs.snapshot () in
+  Ape_obs.disable ();
+  let steps = counter snap "transient.steps"
+  and solves = counter snap "transient.solves"
+  and cuts = counter snap "transient.step_cuts" in
+  Alcotest.(check bool) "ran steps" true (steps > 0);
+  (* Same accounting as the dense engine (locked since the step-cutting
+     controller landed): each cut retries as two half-steps. *)
+  Alcotest.(check int) "solves = steps + 2*cuts" (steps + (2 * cuts)) solves;
+  Alcotest.(check bool) "sparse engine actually used" true
+    (counter snap "sparse.symbolic" > 0)
+
+let test_transient_waveform_differential () =
+  let deck = parse_deck (List.hd (golden_decks ())) in
+  let source =
+    List.find_map
+      (fun e -> match e with N.Vsource { name; _ } -> Some name | _ -> None)
+      (N.elements deck)
+    |> Option.get
+  in
+  let stim = [ (source, Tr.step ~t0:1e-7 ~high:1. ()) ] in
+  let run engine =
+    Backend.use engine (fun () ->
+        let op = Dc.solve deck in
+        Tr.run ~stimulus:stim ~tstop:2e-6 ~dt:2e-8 op)
+  in
+  let rd = run Backend.Dense and rs = run Backend.Sparse in
+  List.iter2
+    (fun (name, yd) (name', ys) ->
+      Alcotest.(check string) "node order" name name';
+      Array.iteri
+        (fun k v ->
+          if Float.abs (v -. ys.(k)) > 1e-6 *. Float.max 1. (Float.abs v) then
+            Alcotest.failf "node %s sample %d: dense %g vs sparse %g" name k v
+              ys.(k))
+        yd)
+    rd.Tr.nodes rs.Tr.nodes
+
+(* ---------- metamorphic: ape verify under the sparse engine ---------- *)
+
+let test_verify_golden_under_sparse () =
+  (* The full differential-verification catalog, gated against the same
+     golden tables the dense engine maintains: switching the linear
+     solver must not change any published behaviour.  (CMRR is compared
+     at its documented looser tolerance — see Golden.compare_rows.) *)
+  let module C = Ape_check in
+  let golden_dir =
+    List.find Sys.file_exists [ "golden"; Filename.concat "test" "golden" ]
+  in
+  Backend.use Backend.Sparse @@ fun () ->
+  let outcome =
+    C.Check.run ~slew:false ~golden_dir ~levels:[ C.Tolerance.Basic ] proc
+  in
+  List.iter
+    (fun (r : C.Check.level_result) ->
+      List.iter
+        (fun (d : C.Golden.drift) ->
+          Alcotest.failf "golden drift under sparse: %s/%s: %s" d.C.Golden.case
+            d.C.Golden.attr d.C.Golden.what)
+        r.C.Check.drifts)
+    outcome.C.Check.results;
+  Alcotest.(check bool) "tolerance gates pass" true
+    (C.Check.failures outcome = [])
+
+(* ---------- suite ---------- *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ape_sparse"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "builder basics" `Quick test_builder_basics;
+          Alcotest.test_case "min_degree permutation" `Quick
+            test_min_degree_permutation;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "0x0 system" `Quick test_empty_system;
+          Alcotest.test_case "1x1 system" `Quick test_one_by_one;
+          Alcotest.test_case "structurally singular" `Quick
+            test_structurally_singular;
+          Alcotest.test_case "numerically singular" `Quick
+            test_numerically_singular;
+          Alcotest.test_case "unstable refactor" `Quick test_unstable_refactor;
+          Alcotest.test_case "clone independence" `Quick test_clone_independent;
+        ] );
+      qsuite "differential-properties"
+        [
+          prop_sparse_matches_dense; prop_refactor_matches_fresh;
+          prop_csplit_matches_cmat;
+        ];
+      ( "golden-decks",
+        [
+          Alcotest.test_case "AC sweep dense vs sparse" `Quick
+            test_golden_sweep_differential;
+          Alcotest.test_case "sparse sweep jobs bitwise" `Quick
+            test_golden_sweep_jobs_bitwise;
+          Alcotest.test_case "DC dense vs sparse" `Quick
+            test_golden_dc_differential;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "counter invariant under sparse" `Quick
+            test_transient_counters_sparse;
+          Alcotest.test_case "waveform dense vs sparse" `Quick
+            test_transient_waveform_differential;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "golden tables unchanged under sparse" `Slow
+            test_verify_golden_under_sparse;
+        ] );
+    ]

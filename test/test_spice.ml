@@ -633,6 +633,10 @@ let golden_decks () =
   |> List.map (fun f -> Filename.concat dir f)
 
 let test_prepared_matches_solve_at_golden () =
+  (* Dense engine pinned: [solve_at] is the always-dense reference, and
+     the bit-identity contract is dense-only (test_sparse.ml pins the
+     sparse engine's tolerance). *)
+  Ape_spice.Backend.use Ape_spice.Backend.Dense @@ fun () ->
   let freqs = [ 0.; 1.; 120.; 1e3; 4.567e4; 1e6; 1e9 ] in
   let verified = ref 0 in
   List.iter
@@ -686,8 +690,12 @@ let mos_amp_op () =
   Dc.solve (B.finish b)
 
 let prop_prepared_matches_solve_at =
+  (* Bit-identity only holds on the dense engine ([solve_at] is always
+     dense); under APE_ENGINE=sparse the sparse-specific differential
+     suite in test_sparse.ml covers the prepared path. *)
   QCheck.Test.make ~name:"prepared solve bit-identical to solve_at" ~count:60
     (QCheck.float_range (-1.) 9.) (fun logf ->
+      Ape_spice.Backend.use Ape_spice.Backend.Dense @@ fun () ->
       let f = 10. ** logf in
       let op = mos_amp_op () in
       let p = Ac.prepare op in

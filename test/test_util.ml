@@ -504,6 +504,101 @@ let prop_pool_map_jobs_invariant =
       let f i = (i * i) + 1 in
       Pool.map ~jobs n f = Array.init n f)
 
+(* ---------- Matrix edge cases: 0x0 and 1x1 systems ---------- *)
+
+(* A ground-only netlist produces a 0-unknown MNA system; the dense
+   layer must treat it as trivially nonsingular rather than tripping the
+   pivot test or indexing out of bounds. *)
+let test_matrix_empty () =
+  let m = Rmat.create 0 0 in
+  let lu = Rmat.lu_factor m in
+  Alcotest.(check int) "empty solve" 0 (Array.length (Rmat.lu_solve lu [||]));
+  Alcotest.(check int) "empty matvec" 0 (Array.length (Rmat.mat_vec m [||]));
+  Alcotest.(check int) "empty solve direct" 0
+    (Array.length (Rmat.solve m [||]));
+  let t = Rmat.transpose m in
+  Alcotest.(check int) "empty transpose rows" 0 (Rmat.rows t);
+  let c = Ape_util.Matrix.Csplit.create 0 in
+  Ape_util.Matrix.Csplit.factor_in_place c [||];
+  Alcotest.(check int) "empty csplit solve" 0
+    (Array.length (Ape_util.Matrix.Csplit.solve c [||] [||]));
+  Alcotest.check_raises "negative dim" (Invalid_argument "Matrix.create")
+    (fun () -> ignore (Rmat.create (-1) 2));
+  Alcotest.check_raises "lu_solve size" (Invalid_argument "Matrix.lu_solve")
+    (fun () -> ignore (Rmat.lu_solve lu [| 1. |]))
+
+let test_matrix_one () =
+  let m = Rmat.of_arrays [| [| 4. |] |] in
+  let x = Rmat.solve m [| 8. |] in
+  checkf "1x1 solve" 2. x.(0);
+  checkf "1x1 matvec" 4. (Rmat.mat_vec m [| 1. |]).(0);
+  let z = Rmat.of_arrays [| [| 0. |] |] in
+  Alcotest.check_raises "1x1 singular" Ape_util.Matrix.Singular (fun () ->
+      ignore (Rmat.solve z [| 1. |]))
+
+(* ---------- Interval monotonicity properties ---------- *)
+
+let prop_interval_add_sub_sound =
+  QCheck.Test.make ~name:"add/sub contain pointwise results" ~count:200
+    (QCheck.triple arb_interval arb_interval (QCheck.float_range 0. 1.))
+    (fun (a, b, t) ->
+      let x = F.lerp (I.lo a) (I.hi a) t in
+      let y = F.lerp (I.lo b) (I.hi b) (1. -. t) in
+      I.contains (I.add a b) (x +. y) && I.contains (I.sub a b) (x -. y))
+
+let prop_interval_map_monotone =
+  QCheck.Test.make
+    ~name:"map_monotone image contains pointwise images (inc and dec)"
+    ~count:200
+    (QCheck.pair arb_interval (QCheck.float_range 0. 1.))
+    (fun (a, t) ->
+      let x = F.lerp (I.lo a) (I.hi a) t in
+      (* exp is increasing, neg is decreasing: both directions must come
+         out with sorted bounds containing every pointwise image. *)
+      let inc = I.map_monotone Float.exp a in
+      let dec = I.map_monotone (fun v -> -.v) a in
+      I.lo inc <= I.hi inc
+      && I.lo dec <= I.hi dec
+      && I.contains inc (Float.exp x)
+      && I.contains dec (-.x))
+
+let prop_interval_width_monotone =
+  QCheck.Test.make ~name:"add widens: width(a+b) = width a + width b"
+    ~count:200
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      Float.abs (I.width (I.add a b) -. (I.width a +. I.width b)) <= 1e-9)
+
+(* ---------- Poly root/eval round-trip ---------- *)
+
+let prop_poly_roots_roundtrip =
+  (* Distinct well-separated roots: of_real_roots -> real_roots recovers
+     them (sorted), and the polynomial vanishes at each recovered root. *)
+  QCheck.Test.make ~name:"of_real_roots -> real_roots round-trips"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 5) (int_range (-20) 20))
+    (fun ints ->
+      let roots =
+        List.sort_uniq compare ints |> List.map float_of_int
+      in
+      let p = Poly.of_real_roots roots in
+      let found = Poly.real_roots p in
+      List.length found = List.length roots
+      && List.for_all2 (fun a b -> Float.abs (a -. b) < 1e-4) roots found
+      && List.for_all (fun r -> Float.abs (Poly.eval p r) < 1e-6) found)
+
+let prop_poly_eval_roundtrip =
+  QCheck.Test.make ~name:"coeffs -> eval agrees with Horner by hand"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range (-3.) 3.))
+    (fun coeffs ->
+      let p = Poly.of_coeffs (Array.of_list coeffs) in
+      let x = 0.7 in
+      let by_hand =
+        List.fold_right (fun c acc -> c +. (x *. acc)) coeffs 0.
+      in
+      Float.abs (Poly.eval p x -. by_hand) <= 1e-9 *. Float.max 1. (Float.abs by_hand))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -528,7 +623,8 @@ let () =
         ] );
       qsuite "interval-properties"
         [ prop_interval_mul_sound; prop_interval_hull;
-          prop_interval_sample_inside ];
+          prop_interval_sample_inside; prop_interval_add_sub_sound;
+          prop_interval_map_monotone; prop_interval_width_monotone ];
       ( "matrix",
         [
           Alcotest.test_case "solve 2x2" `Quick test_matrix_solve;
@@ -536,6 +632,8 @@ let () =
           Alcotest.test_case "singular" `Quick test_matrix_singular;
           Alcotest.test_case "complex" `Quick test_matrix_complex;
           Alcotest.test_case "mat mul" `Quick test_mat_mul;
+          Alcotest.test_case "empty system" `Quick test_matrix_empty;
+          Alcotest.test_case "1x1 system" `Quick test_matrix_one;
         ] );
       qsuite "matrix-properties" [ prop_lu_random; prop_transpose_involution ];
       ( "poly",
@@ -545,7 +643,9 @@ let () =
           Alcotest.test_case "complex roots" `Quick test_poly_complex_roots;
           Alcotest.test_case "butterworth" `Quick test_butterworth;
         ] );
-      qsuite "poly-properties" [ prop_poly_mul_eval; prop_poly_of_roots_vanishes ];
+      qsuite "poly-properties"
+        [ prop_poly_mul_eval; prop_poly_of_roots_vanishes;
+          prop_poly_roots_roundtrip; prop_poly_eval_roundtrip ];
       ( "rootfind",
         [
           Alcotest.test_case "bisect" `Quick test_bisect;
