@@ -515,9 +515,11 @@ let sim_cmd =
     Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
-    match Ape_circuit.Spice_parser.parse ~process:proc ~title:file text with
-    | exception Ape_circuit.Spice_parser.Parse_error msg ->
-      pf "parse error: %s\n" msg;
+    match
+      Ape_circuit.Spice_parser.parse ~process:proc ~path:file ~title:file text
+    with
+    | exception Ape_circuit.Spice_parser.Parse_error d ->
+      pf "%s" (Ape_circuit.Spice_parser.render d);
       1
     | netlist -> (
       guard @@ fun () ->
@@ -557,6 +559,72 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc:"Solve a SPICE netlist (DC + AC measurements).")
     Term.(const run $ file_arg $ out_arg $ det_arg $ engine_arg $ trace_arg)
+
+(* ---------- ape convert ---------- *)
+
+let convert_cmd =
+  let module Sp = Ape_circuit.Spice_parser in
+  (* [string], not [file]: an unreadable deck is an input-side failure
+     and must exit 3 through [guard], not cmdliner's 124. *)
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"SPICE netlist.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Write the canonical deck to $(docv) instead of stdout.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat parser warnings as errors (exit 1).")
+  in
+  let dialect_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ngspice", Sp.Ngspice); ("hspice", Sp.Hspice);
+               ("spice2", Sp.Spice2);
+             ])
+          Sp.Ngspice
+      & info [ "dialect" ] ~docv:"DIALECT"
+          ~doc:
+            "Input dialect, which governs inline-comment characters: \
+             ngspice (default; \\$ and ;), hspice (\\$ only) or spice2 \
+             (none).")
+  in
+  let run file out strict dialect =
+    guard @@ fun () ->
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let r = Sp.parse_result ~process:proc ~dialect ~path:file ~title:"" text in
+    List.iter
+      (fun d -> Printf.eprintf "%s" (Sp.render d))
+      r.Sp.diagnostics;
+    if Sp.errors r <> [] || (strict && Sp.warnings r <> []) then 1
+    else begin
+      let canonical = Sp.to_canonical r in
+      (match out with
+      | None -> print_string canonical
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc canonical));
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Ingest a netlist (dialect-aware: .INCLUDE/.LIB, parameterized \
+          .SUBCKT flattening, .PARAM expressions, analysis directives) and \
+          print the flattened canonical form.  Diagnostics go to stderr \
+          with source spans; the output reaches a print/parse fixpoint, so \
+          converting the output again is byte-identical.")
+    Term.(const run $ file_arg $ out_arg $ strict_arg $ dialect_arg)
 
 (* ---------- ape verify ---------- *)
 
@@ -965,6 +1033,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; verify_cmd;
-            serve_cmd; stats_cmd; vase_cmd;
+            opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; convert_cmd;
+            verify_cmd; serve_cmd; stats_cmd; vase_cmd;
           ]))

@@ -116,6 +116,52 @@ awk -F': *|,' '/"speedup"/ && !/"curve"/ { speedup = $2 }
   }' BENCH_sparse.json
 echo "archived BENCH_sparse.json"
 
+echo "== ape convert round-trip (fixpoint over the golden corpus) =="
+# convert(a) -> b, convert(b) -> c: b and c must be byte-identical, and a
+# clean deck must produce zero diagnostics on stderr.
+for deck in test/golden/decks/*.sp examples/decks/two_stage.sp; do
+  dune exec bin/ape.exe -- convert "$deck" --out /tmp/ape_conv_b.sp \
+    2> /tmp/ape_conv_diag.txt
+  [ -s /tmp/ape_conv_diag.txt ] && {
+    echo "FAIL: $deck produced diagnostics:"; cat /tmp/ape_conv_diag.txt; exit 1; }
+  dune exec bin/ape.exe -- convert /tmp/ape_conv_b.sp --out /tmp/ape_conv_c.sp
+  diff /tmp/ape_conv_b.sp /tmp/ape_conv_c.sp \
+    || { echo "FAIL: $deck does not reach a convert fixpoint"; exit 1; }
+done
+rm -f /tmp/ape_conv_b.sp /tmp/ape_conv_c.sp /tmp/ape_conv_diag.txt
+echo "convert fixpoint OK"
+
+echo "== ape convert malformed corpus (exit 1 + span diagnostics) =="
+for deck in test/golden/decks/bad/*.sp; do
+  if dune exec bin/ape.exe -- convert "$deck" \
+      > /dev/null 2> /tmp/ape_conv_err.txt; then
+    echo "FAIL: $deck was accepted"; exit 1
+  fi
+  grep -q "error:" /tmp/ape_conv_err.txt \
+    || { echo "FAIL: $deck produced no error diagnostic"; exit 1; }
+done
+rm -f /tmp/ape_conv_err.txt
+echo "malformed corpus OK"
+
+echo "== subckt flattening differential (hier vs hand-flat, both engines) =="
+# The flattened example deck is the exact convert output of the
+# hierarchical one, and both must simulate bit-identically.
+dune exec bin/ape.exe -- convert examples/decks/two_stage.sp \
+  > /tmp/ape_flat_now.sp
+diff examples/decks/two_stage_flat.sp /tmp/ape_flat_now.sp \
+  || { echo "FAIL: checked-in flat deck is stale; regenerate with ape convert"; exit 1; }
+rm -f /tmp/ape_flat_now.sp
+for engine in dense sparse; do
+  dune exec bin/ape.exe -- sim examples/decks/two_stage.sp --out out \
+    --deterministic --engine "$engine" > /tmp/ape_hier.txt
+  dune exec bin/ape.exe -- sim examples/decks/two_stage_flat.sp --out out \
+    --deterministic --engine "$engine" > /tmp/ape_flat.txt
+  diff /tmp/ape_hier.txt /tmp/ape_flat.txt \
+    || { echo "FAIL: hier/flat mismatch under --engine $engine"; exit 1; }
+done
+rm -f /tmp/ape_hier.txt /tmp/ape_flat.txt
+echo "hier/flat differential OK"
+
 echo "== ape mc determinism (jobs 1 vs jobs 4) =="
 dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 1 \
   | grep -v '^Monte Carlo:' > /tmp/ape_mc_jobs1.txt

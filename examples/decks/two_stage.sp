@@ -1,0 +1,19 @@
+.TITLE two-stage resistive amplifier
+* Demonstrates the ingestion front end: .PARAM expressions, .INCLUDE,
+* parameterized .SUBCKT instances and recorded analysis directives.
+* Flatten it with:  ape convert examples/decks/two_stage.sp
+.PARAM wbase=2u
+.INCLUDE cs_stage.inc
+
+VDD vdd 0 DC 5
+VIN in 0 DC 1.5 AC 1
+
+* First stage: 4x the base width; second stage: 2x, explicit load.
+X1 in n1 vdd csamp w={4*wbase} rload=20k
+X2 n1 out vdd csamp w={2*wbase} rload=40k
+
+CL out 0 1p
+
+.OP
+.AC DEC 10 1k 100meg
+.END

@@ -39,6 +39,7 @@ let mosfet t card ~d ~g ~s ~b ~w ~l =
          s;
          b;
          geom = Ape_device.Mos.geom ~w ~l;
+         m = 1.;
        })
 
 let nmos t process ~d ~g ~s ~w ~l =

@@ -1,0 +1,154 @@
+type error = { span : Token.span; msg : string }
+
+type t = {
+  cards : Token.t list list;
+  errors : error list;
+  lines : string array;
+}
+
+let source_line t n =
+  if n >= 1 && n <= Array.length t.lines then Some t.lines.(n - 1) else None
+
+let is_blank c = c = ' ' || c = '\t' || c = '\r'
+
+(* '(' ')' ',' separate tokens like whitespace does: SPICE model cards
+   write ".MODEL N NMOS (VTO=0.7)" and sources "SIN(0 1 1k)". *)
+let is_sep c = is_blank c || c = '(' || c = ')' || c = ','
+
+(* Tokenize one physical line starting at byte [start] (0-based), line
+   number [lnum] (1-based).  Tokens are prepended to [acc] (reversed);
+   lexical errors are prepended to [errs]. *)
+let tokenize_line ~comment_chars ~lnum line start acc errs =
+  let n = String.length line in
+  let acc = ref acc and errs = ref errs in
+  let i = ref start in
+  let word_char c = not (is_sep c) && c <> '=' && c <> '{' && c <> '\'' in
+  (try
+     while !i < n do
+       let c = line.[!i] in
+       if is_sep c then incr i
+       else if List.mem c comment_chars then
+         (* Inline comment: only when the character starts a token
+            (separator or line start just before it) — "1k$x" keeps the
+            '$' inside the word, like ngspice. *)
+         raise Exit
+       else if c = '=' then begin
+         acc :=
+           {
+             Token.kind = Token.Equals;
+             text = "=";
+             span = Token.span_of ~line:lnum ~col:(!i + 1) ~len:1;
+           }
+           :: !acc;
+         incr i
+       end
+       else if c = '{' || c = '\'' then begin
+         let closing = if c = '{' then '}' else '\'' in
+         let opened = !i in
+         incr i;
+         let depth = ref 1 in
+         while !i < n && !depth > 0 do
+           if c = '{' && line.[!i] = '{' then incr depth;
+           if line.[!i] = closing then decr depth;
+           if !depth > 0 then incr i
+         done;
+         if !depth > 0 then begin
+           errs :=
+             {
+               span = Token.span_of ~line:lnum ~col:(opened + 1) ~len:1;
+               msg =
+                 Printf.sprintf "unterminated '%c' expression (missing '%c')"
+                   c closing;
+             }
+             :: !errs;
+           (* Recover: take the rest of the line as the expression. *)
+           acc :=
+             {
+               Token.kind = Token.Braced;
+               text = String.trim (String.sub line (opened + 1) (n - opened - 1));
+               span =
+                 Token.span_of ~line:lnum ~col:(opened + 1) ~len:(n - opened);
+             }
+             :: !acc;
+           i := n
+         end
+         else begin
+           acc :=
+             {
+               Token.kind = Token.Braced;
+               text = String.trim (String.sub line (opened + 1) (!i - opened - 1));
+               span =
+                 Token.span_of ~line:lnum ~col:(opened + 1)
+                   ~len:(!i - opened + 1);
+             }
+             :: !acc;
+           incr i
+         end
+       end
+       else begin
+         let wstart = !i in
+         while !i < n && word_char line.[!i] do
+           incr i
+         done;
+         acc :=
+           {
+             Token.kind = Token.Word;
+             text = String.sub line wstart (!i - wstart);
+             span =
+               Token.span_of ~line:lnum ~col:(wstart + 1) ~len:(!i - wstart);
+           }
+           :: !acc
+       end
+     done
+   with Exit -> ());
+  (!acc, !errs)
+
+let first_nonblank line =
+  let n = String.length line in
+  let rec go i = if i < n && is_blank line.[i] then go (i + 1) else i in
+  let i = go 0 in
+  if i < n then Some (i, line.[i]) else None
+
+let lex ?(comment_chars = [ '$'; ';' ]) text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let cards = ref [] and errors = ref [] in
+  (* The current card under construction, tokens reversed.  [None]
+     means no card is open (start of file, or just after a flush). *)
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some toks when toks <> [] -> cards := List.rev toks :: !cards
+    | Some _ | None -> ()
+  in
+  Array.iteri
+    (fun idx line ->
+      let lnum = idx + 1 in
+      match first_nonblank line with
+      | None -> () (* blank: does not interrupt continuations *)
+      | Some (_, '*') -> () (* comment line *)
+      | Some (i, '+') -> (
+        match !current with
+        | Some toks ->
+          let toks, errs =
+            tokenize_line ~comment_chars ~lnum line (i + 1) toks !errors
+          in
+          current := Some toks;
+          errors := errs
+        | None ->
+          errors :=
+            {
+              span = Token.span_of ~line:lnum ~col:(i + 1) ~len:1;
+              msg = "continuation '+' with no preceding card";
+            }
+            :: !errors)
+      | Some (i, _) ->
+        let toks, errs = tokenize_line ~comment_chars ~lnum line i [] !errors in
+        errors := errs;
+        if toks = [] then () (* line was only an inline comment *)
+        else begin
+          flush ();
+          current := Some toks
+        end)
+    lines;
+  flush ();
+  { cards = List.rev !cards; errors = List.rev !errors; lines }

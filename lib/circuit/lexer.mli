@@ -1,0 +1,30 @@
+(** Line-disciplined tokenizer for SPICE netlists.
+
+    The lexer turns raw deck text into {e cards} (logical statements):
+    it strips [*]-comment lines and inline [$]/[;] trailing comments,
+    joins [+]-continuation lines into their parent card, splits each
+    card into {!Token.t}s (treating [( ) ,] as whitespace and [=] as
+    its own token) and recognises brace- and single-quote-delimited
+    expression tokens.  Unlike a string-level rewrite, every token
+    keeps its original line/column span, so downstream diagnostics can
+    quote the offending source line with a caret. *)
+
+type error = { span : Token.span; msg : string }
+(** A lexical problem (orphan continuation, unterminated expression).
+    The lexer never raises: errors are collected so one bad line does
+    not hide the rest of the deck. *)
+
+type t = {
+  cards : Token.t list list;
+      (** logical statements in source order; every card is non-empty *)
+  errors : error list;  (** in source order *)
+  lines : string array;  (** raw physical lines, for diagnostics *)
+}
+
+val lex : ?comment_chars:char list -> string -> t
+(** [comment_chars] are the characters that start an inline trailing
+    comment when they appear at the beginning of a token (default
+    [['$'; ';']], the ngspice convention). *)
+
+val source_line : t -> int -> string option
+(** The raw 1-based physical line, for caret rendering. *)

@@ -15,6 +15,7 @@ type element =
       s : node;
       b : node;
       geom : Mos.geom;
+      m : float;
     }
   | Resistor of { name : string; a : node; b : node; r : float }
   | Capacitor of { name : string; a : node; b : node; c : float }
@@ -85,7 +86,7 @@ let device_count t = List.length t.elements
 let gate_area t =
   List.fold_left
     (fun acc -> function
-      | Mosfet { geom; _ } -> acc +. Mos.gate_area geom
+      | Mosfet { geom; m; _ } -> acc +. (m *. Mos.gate_area geom)
       | Resistor _ | Capacitor _ | Vsource _ | Isource _ | Vcvs _ | Switch _
         ->
         acc)
@@ -132,6 +133,8 @@ let validate t =
         raise (Invalid_netlist ("non-positive resistor " ^ name))
       | Capacitor { name; c; _ } when c <= 0. ->
         raise (Invalid_netlist ("non-positive capacitor " ^ name))
+      | Mosfet { name; m; _ } when m <= 0. ->
+        raise (Invalid_netlist ("non-positive multiplier on " ^ name))
       | Switch { name; ron; roff; _ } when ron <= 0. || roff <= ron ->
         raise (Invalid_netlist ("bad switch resistances " ^ name))
       | Mosfet _ | Resistor _ | Capacitor _ | Vsource _ | Isource _
@@ -258,9 +261,12 @@ let spice_num x =
   | Some _ | None -> Ape_util.Units.to_exact x
 
 let element_to_spice = function
-  | Mosfet { name; card; d; g; s; b; geom } ->
-    Printf.sprintf "%s %s %s %s %s %s W=%s L=%s" name d g s b
-      card.Card.name (spice_num geom.Mos.w) (spice_num geom.Mos.l)
+  | Mosfet { name; card; d; g; s; b; geom; m } ->
+    let base =
+      Printf.sprintf "%s %s %s %s %s %s W=%s L=%s" name d g s b
+        card.Card.name (spice_num geom.Mos.w) (spice_num geom.Mos.l)
+    in
+    if m = 1. then base else base ^ " M=" ^ spice_num m
   | Resistor { name; a; b; r } ->
     Printf.sprintf "%s %s %s %s" name a b (spice_num r)
   | Capacitor { name; a; b; c } ->

@@ -22,6 +22,10 @@ type element =
       s : node;
       b : node;
       geom : Ape_device.Mos.geom;
+      m : float;
+          (** parallel-device multiplier (SPICE [M=], default 1).  The
+              simulator models it as an effective width [m·W]; gate
+              area is [m·W·L]. *)
     }
   | Resistor of { name : string; a : node; b : node; r : float }
   | Capacitor of { name : string; a : node; b : node; c : float }
@@ -67,7 +71,7 @@ val mosfet_count : t -> int
 val device_count : t -> int
 
 val gate_area : t -> float
-(** Σ W·L over MOSFETs, m² — the paper's area metric. *)
+(** Σ M·W·L over MOSFETs, m² — the paper's area metric. *)
 
 exception Invalid_netlist of string
 

@@ -1,0 +1,22 @@
+type pos = { line : int; col : int }
+type span = { first : pos; last : pos }
+
+type kind =
+  | Word
+  | Equals
+  | Braced
+
+type t = { kind : kind; text : string; span : span }
+
+let span_of ~line ~col ~len =
+  { first = { line; col }; last = { line; col = col + Int.max 0 (len - 1) } }
+
+let before a b = a.line < b.line || (a.line = b.line && a.col <= b.col)
+
+let merge a b =
+  {
+    first = (if before a.first b.first then a.first else b.first);
+    last = (if before a.last b.last then b.last else a.last);
+  }
+
+let pp_pos p = Printf.sprintf "%d:%d" p.line p.col

@@ -1,0 +1,31 @@
+(** Positioned tokens for the SPICE netlist front end.
+
+    Every token remembers where it came from in the {e original} source
+    text — line and column survive comment stripping and
+    [+]-continuation joining, so a diagnostic raised deep inside a
+    flattened subcircuit can still point at the exact character of the
+    deck that caused it. *)
+
+type pos = { line : int; col : int }
+(** 1-based line and column in the source file. *)
+
+type span = { first : pos; last : pos }
+(** Inclusive character range. *)
+
+type kind =
+  | Word  (** a bare word: name, node, number, keyword *)
+  | Equals  (** a '=' separator (keyed parameters) *)
+  | Braced
+      (** a brace- or quote-delimited expression; [text] is the body
+          without the delimiters *)
+
+type t = { kind : kind; text : string; span : span }
+
+val span_of : line:int -> col:int -> len:int -> span
+(** Single-line span starting at [col] covering [len] characters. *)
+
+val merge : span -> span -> span
+(** Smallest span covering both (source order). *)
+
+val pp_pos : pos -> string
+(** ["line:col"]. *)

@@ -1,10 +1,26 @@
 exception Bad_card of string
 
+(* Trailing '$'/';' comments start a comment only at a token boundary
+   (start of line or after whitespace): "R$2 a b 1k$ load" keeps the
+   name "R$2" and drops " load". *)
+let strip_inline line =
+  let n = String.length line in
+  let rec find i =
+    if i >= n then n
+    else if
+      (line.[i] = '$' || line.[i] = ';')
+      && (i = 0 || line.[i - 1] = ' ' || line.[i - 1] = '\t')
+    then i
+    else find (i + 1)
+  in
+  String.sub line 0 (find 0)
+
 let strip_comments text =
   String.split_on_char '\n' text
   |> List.filter (fun line ->
          let trimmed = String.trim line in
          not (String.length trimmed > 0 && trimmed.[0] = '*'))
+  |> List.map strip_inline
   |> String.concat "\n"
 
 (* Join SPICE continuation lines ('+' in column 1) into their parent. *)
@@ -16,12 +32,12 @@ let join_continuations text =
       let trimmed = String.trim line in
       if String.length trimmed > 0 && trimmed.[0] = '+' then begin
         match acc with
-        | [] -> loop [ String.sub trimmed 1 (String.length trimmed - 1) ] rest
-        | prev :: acc' ->
+        | prev :: acc' when String.trim prev <> "" ->
           let joined =
             prev ^ " " ^ String.sub trimmed 1 (String.length trimmed - 1)
           in
           loop (joined :: acc') rest
+        | _ -> raise (Bad_card "continuation line with no preceding card")
       end
       else loop (line :: acc) rest
   in

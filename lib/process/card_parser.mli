@@ -10,8 +10,11 @@
 exception Bad_card of string
 
 val join_lines : string -> string
-(** Strip [*]-comment lines and join [+]-continuation lines; exposed for
-    the netlist parser, which shares SPICE's line discipline. *)
+(** Strip [*]-comment lines, trailing [$]/[;] comments (recognised only
+    at a token boundary, so names containing [$] survive) and join
+    [+]-continuation lines.  A [+] line with no preceding card raises
+    {!Bad_card} instead of being silently promoted to a card of its
+    own. *)
 
 val parse_card : string -> Model_card.t
 (** Parse a single (possibly multi-line) [.MODEL] card.  Raises

@@ -220,6 +220,8 @@ let run t job =
   | Ape_spice.Transient.Step_failed time ->
     (R.Failed (Printf.sprintf "transient step failed at t=%g s" time), [])
   | Ape_util.Matrix.Singular -> (R.Failed "singular system", [])
-  | Ape_circuit.Spice_parser.Parse_error msg ->
-    (R.Failed ("netlist parse error: " ^ msg), [])
+  | Ape_circuit.Spice_parser.Parse_error d ->
+    ( R.Failed
+        ("netlist parse error: " ^ Ape_circuit.Spice_parser.render_short d),
+      [] )
   | Sys_error msg -> (R.Failed msg, [])

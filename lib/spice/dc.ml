@@ -262,7 +262,10 @@ let mosfet_regions op =
   List.filter_map
     (fun e ->
       match e with
-      | N.Mosfet { name; card; d; g; s; b; geom; _ } ->
+      | N.Mosfet { name; card; d; g; s; b; geom; m; _ } ->
+        let geom =
+          { geom with Ape_device.Mos.w = geom.Ape_device.Mos.w *. m }
+        in
         let vd = voltage op d
         and vg = voltage op g
         and vs = voltage op s

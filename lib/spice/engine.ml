@@ -166,7 +166,10 @@ let stamp_core ~gmin ~source_scale ~time ~stimulus netlist idx x
         add_jac_unknown_col br nn (-1.);
         add_jac_unknown_col br cp (-.gain);
         add_jac_unknown_col br cn gain
-      | N.Mosfet { card; d; g; s; b; geom; _ } ->
+      | N.Mosfet { card; d; g; s; b; geom; m; _ } ->
+        (* M= parallel devices behave as one device of width m·W under
+           the width-proportional current and capacitance models. *)
+        let geom = { geom with Mos.w = geom.Mos.w *. m } in
         let vd = volt idx x d
         and vg = volt idx x g
         and vs = volt idx x s
@@ -213,7 +216,10 @@ let caps_core netlist idx x ~(add : int -> int -> float -> unit) =
     (fun e ->
       match e with
       | N.Capacitor { a; b; c = value; _ } -> cap_stamp a b value
-      | N.Mosfet { card; d; g; s; b; geom; _ } ->
+      | N.Mosfet { card; d; g; s; b; geom; m; _ } ->
+        (* M= parallel devices behave as one device of width m·W under
+           the width-proportional current and capacitance models. *)
+        let geom = { geom with Mos.w = geom.Mos.w *. m } in
         let vd = volt idx x d
         and vg = volt idx x g
         and vs = volt idx x s
@@ -305,7 +311,8 @@ let mosfet_small_signal netlist idx x =
   List.filter_map
     (fun e ->
       match e with
-      | N.Mosfet { name; card; d; g; s; b; geom; _ } ->
+      | N.Mosfet { name; card; d; g; s; b; geom; m; _ } ->
+        let geom = { geom with Mos.w = geom.Mos.w *. m } in
         let vd = volt idx x d
         and vg = volt idx x g
         and vs = volt idx x s

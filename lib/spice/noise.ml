@@ -15,7 +15,8 @@ let noise_sources (op : Dc.op) freq =
     (fun e ->
       match e with
       | N.Resistor { name; a; b; r } -> Some (name, a, b, four_kt /. r)
-      | N.Mosfet { name; card; d; g; s; b; geom; _ } ->
+      | N.Mosfet { name; card; d; g; s; b; geom; m; _ } ->
+        let geom = { geom with Mos.w = geom.Mos.w *. m } in
         let vd = Dc.voltage op d
         and vg = Dc.voltage op g
         and vs = Dc.voltage op s

@@ -102,9 +102,24 @@ let tokenize s =
         else incr i
       done;
       let text = String.sub s start (!i - start) in
+      (* A letter glued to the mantissa is a SPICE magnitude suffix:
+         "5k", "10meg", "2.2u".  The grammar has no juxtaposition
+         product, so this is unambiguous. *)
+      let sstart = !i in
+      while !i < n && is_ident s.[!i] do
+        incr i
+      done;
+      let suffix = String.sub s sstart (!i - sstart) in
       match float_of_string_opt text with
-      | Some v -> tokens := (Tnum v, start) :: !tokens
       | None -> raise (Parse_error ("bad number " ^ text, start))
+      | Some v ->
+        if suffix = "" then tokens := (Tnum v, start) :: !tokens
+        else (
+          match suffix_multiplier suffix with
+          | Some mult -> tokens := (Tnum (v *. mult), start) :: !tokens
+          | None ->
+            raise
+              (Parse_error ("unknown magnitude suffix " ^ suffix, sstart)))
     end
     else if is_alpha c then begin
       let start = !i in

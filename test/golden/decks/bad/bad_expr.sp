@@ -1,0 +1,4 @@
+.PARAM x={1+}
+R1 a 0 {nope}
+V1 a 0 5
+.END

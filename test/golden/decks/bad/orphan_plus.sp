@@ -1,0 +1,4 @@
++ R1 a b 1k
+V1 a 0 5
+R1 a 0 1k
+.END

@@ -1,0 +1,6 @@
+* several independent mistakes; all of them must be reported
+M1 d g s b NOSUCH W=1u L=1u
+R1 a 0
+M2 d g s 0 NMOS L=1u
+V1 d 0 5
+.END

@@ -1,0 +1,6 @@
+.SUBCKT loop a b
+X1 a b loop
+.ENDS
+X1 n1 0 loop
+V1 n1 0 5
+.END

@@ -1,0 +1,4 @@
+* a bare value after an explicit DC clause used to silently win
+V1 1 0 DC 0 5
+R1 1 0 1k
+.END

@@ -1,0 +1,3 @@
+V1 in 0 SIN(0 1 1k)
+R1 in 0 1k
+.END

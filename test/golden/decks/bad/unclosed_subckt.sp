@@ -1,0 +1,4 @@
+.SUBCKT amp in out
+R1 in out 1k
+V1 x 0 5
+.END

@@ -1,0 +1,4 @@
+.wibble 3 4
+V1 a 0 5
+R1 a 0 1k
+.END

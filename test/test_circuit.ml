@@ -267,6 +267,271 @@ let test_golden_deck_roundtrip () =
         (N.elements nl1 = N.elements nl2))
     decks
 
+(* ---------- ingestion front end ---------- *)
+
+module Tk = Ape_circuit.Token
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let find_element nl name =
+  List.find_opt (fun e -> N.element_name e = name) (N.elements nl)
+
+let resistance nl name =
+  match find_element nl name with
+  | Some (N.Resistor { r; _ }) -> r
+  | _ -> Alcotest.fail ("no resistor " ^ name)
+
+let test_inline_comment_dialects () =
+  let deck = "V1 a 0 5 $ supply\nR1 a 0 1k ; load\n.END\n" in
+  let nl = Sp.parse ~title:"ng" deck in
+  Alcotest.(check int) "ngspice strips $ and ;" 2 (N.device_count nl);
+  (* hspice: '$' comments, ';' does not *)
+  let r = Sp.parse_result ~dialect:Sp.Hspice ~title:"hs" deck in
+  Alcotest.(check bool) "hspice rejects ';' tail" true (Sp.errors r <> []);
+  (* spice2: neither *)
+  let r = Sp.parse_result ~dialect:Sp.Spice2 ~title:"s2" deck in
+  Alcotest.(check bool) "spice2 rejects '$' tail" true (Sp.errors r <> [])
+
+let test_orphan_continuation () =
+  let r = Sp.parse_result ~title:"o" "+ R1 a b 1k\nV1 a 0 5\nR1 a 0 1k\n" in
+  match Sp.errors r with
+  | [ d ] ->
+    Alcotest.(check bool) "message" true (contains d.Sp.msg "continuation");
+    Alcotest.(check int) "line" 1 d.Sp.span.Tk.first.Tk.line
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 error, got %d" (List.length ds))
+
+let test_source_value_clauses () =
+  (* A bare value after an explicit DC/AC clause is an error: it used
+     to silently overwrite the DC value. *)
+  (match Sp.parse ~title:"bad" "V1 1 0 DC 0 5\nR1 1 0 1k\n" with
+  | exception Sp.Parse_error d ->
+    Alcotest.(check bool) "points at 5" true (contains d.Sp.msg "trailing")
+  | _ -> Alcotest.fail "expected Parse_error for 'DC 0 5'");
+  (* ...but a leading bare value with a later AC clause is fine. *)
+  let nl = Sp.parse ~title:"ok" "V1 1 0 5 AC 1\nR1 1 0 1k\n" in
+  (match find_element nl "V1" with
+  | Some (N.Vsource { dc; ac; _ }) ->
+    Alcotest.(check (float 0.)) "dc" 5. dc;
+    Alcotest.(check (float 0.)) "ac" 1. ac
+  | _ -> Alcotest.fail "no V1");
+  (* clause order doesn't matter *)
+  let nl = Sp.parse ~title:"ok2" "V1 1 0 AC 1 DC 2\nR1 1 0 1k\n" in
+  match find_element nl "V1" with
+  | Some (N.Vsource { dc; ac; _ }) ->
+    Alcotest.(check (float 0.)) "dc" 2. dc;
+    Alcotest.(check (float 0.)) "ac" 1. ac
+  | _ -> Alcotest.fail "no V1"
+
+let test_equals_whitespace_and_multiplier () =
+  let nl =
+    Sp.parse ~title:"eq"
+      "V1 d 0 5\nR1 g 0 1k\nM1 d g 0 0 NMOS W = 4e-6 L =2e-6 M= 2\n"
+  in
+  match find_element nl "M1" with
+  | Some (N.Mosfet { geom; m; _ }) ->
+    Alcotest.(check (float 0.)) "w" 4e-6 geom.Ape_device.Mos.w;
+    Alcotest.(check (float 0.)) "l" 2e-6 geom.Ape_device.Mos.l;
+    Alcotest.(check (float 0.)) "m" 2. m;
+    (* the multiplier scales the effective gate area... *)
+    Alcotest.(check (float 1e-24)) "gate area" (2. *. 4e-6 *. 2e-6)
+      (N.gate_area nl);
+    (* ...and survives printing and re-parsing *)
+    let nl2 = Sp.parse ~title:"eq" (N.to_spice nl) in
+    (match find_element nl2 "M1" with
+    | Some (N.Mosfet { m; _ }) -> Alcotest.(check (float 0.)) "m reparsed" 2. m
+    | _ -> Alcotest.fail "no M1 after roundtrip")
+  | _ -> Alcotest.fail "no M1"
+
+let test_subckt_flatten () =
+  let nl =
+    Sp.parse ~title:"sub"
+      ".SUBCKT div a b\n\
+       R1 a mid 1k\n\
+       R2 mid b 1k\n\
+       .ENDS\n\
+       V1 in 0 5\n\
+       X1 in 0 div\n"
+  in
+  Alcotest.(check (list string))
+    "flattened names (device letter first)"
+    [ "V1"; "R.X1.R1"; "R.X1.R2" ]
+    (List.map N.element_name (N.elements nl));
+  (match find_element nl "R.X1.R1" with
+  | Some (N.Resistor { a; b; _ }) ->
+    Alcotest.(check string) "port mapped" "in" a;
+    Alcotest.(check string) "internal node renamed" "X1.mid" b
+  | _ -> Alcotest.fail "no R.X1.R1");
+  match find_element nl "R.X1.R2" with
+  | Some (N.Resistor { a; b; _ }) ->
+    Alcotest.(check string) "internal node" "X1.mid" a;
+    Alcotest.(check string) "ground stays ground" "0" b
+  | _ -> Alcotest.fail "no R.X1.R2"
+
+let test_subckt_params () =
+  let nl =
+    Sp.parse ~title:"p"
+      ".PARAM base=1k\n\
+       .SUBCKT dv a rtop={2*base} rbot=500\n\
+       R1 a m {rtop}\n\
+       R2 m 0 {rbot}\n\
+       .ENDS\n\
+       V1 t 0 5\n\
+       X1 t dv rtop=3k\n\
+       X2 t dv\n"
+  in
+  Alcotest.(check (float 0.)) "override" 3e3 (resistance nl "R.X1.R1");
+  Alcotest.(check (float 0.)) "default kept" 500. (resistance nl "R.X1.R2");
+  Alcotest.(check (float 0.)) "default expr" (2. *. 1e3)
+    (resistance nl "R.X2.R1")
+
+let test_nested_subckt () =
+  let nl =
+    Sp.parse ~title:"n"
+      ".SUBCKT inner a\n\
+       R1 a 0 1k\n\
+       .ENDS\n\
+       .SUBCKT outer b\n\
+       X1 b inner\n\
+       R2 b 0 2k\n\
+       .ENDS\n\
+       V1 t 0 5\n\
+       X9 t outer\n"
+  in
+  Alcotest.(check (list string))
+    "two-level flattening"
+    [ "V1"; "R.X9.X1.R1"; "R.X9.R2" ]
+    (List.map N.element_name (N.elements nl))
+
+let test_hier_golden_differential () =
+  (* The hand-flattened deck and the hierarchical one must parse to
+     structurally identical netlists (same elements, same order, same
+     bit-exact values). *)
+  let dir = List.fold_left Filename.concat "golden" [ "decks"; "hier" ] in
+  let parse f =
+    let path = Filename.concat dir f in
+    Sp.parse ~path ~title:""
+      (In_channel.with_open_text path In_channel.input_all)
+  in
+  let hier = parse "two_stage.sp" and flat = parse "two_stage_flat.sp" in
+  Alcotest.(check bool) "identical elements" true
+    (N.elements hier = N.elements flat);
+  Alcotest.(check (list string)) "identical nodes" (N.nodes flat)
+    (N.nodes hier)
+
+let test_include_cycle () =
+  let a = Filename.temp_file "ape_inc_a" ".sp" in
+  let b = Filename.temp_file "ape_inc_b" ".sp" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove a;
+      Sys.remove b)
+    (fun () ->
+      Out_channel.with_open_text a (fun oc ->
+          Printf.fprintf oc ".include %s\nV1 x 0 5\nR1 x 0 1k\n" b);
+      Out_channel.with_open_text b (fun oc ->
+          Printf.fprintf oc ".include %s\n" a);
+      let r =
+        Sp.parse_result ~path:a ~title:""
+          (In_channel.with_open_text a In_channel.input_all)
+      in
+      Alcotest.(check bool) "cycle reported" true
+        (List.exists (fun d -> contains d.Sp.msg "circular") (Sp.errors r));
+      (* recovery: the rest of the deck still parsed *)
+      Alcotest.(check int) "elements kept" 2
+        (N.device_count r.Sp.netlist))
+
+let test_missing_include () =
+  let r =
+    Sp.parse_result ~title:"" ".include /nonexistent/deck.sp\nV1 a 0 5\nR1 a 0 1k\n"
+  in
+  Alcotest.(check bool) "reported" true
+    (List.exists (fun d -> contains d.Sp.msg "cannot read") (Sp.errors r))
+
+let test_analyses_and_title () =
+  let r =
+    Sp.parse_result ~title:"x"
+      ".TITLE hello\nV1 a 0 5\nR1 a 0 1k\n.OP\n.AC DEC 10 1 1meg\n.END\n"
+  in
+  Alcotest.(check int) "clean" 0 (List.length r.Sp.diagnostics);
+  Alcotest.(check (list string)) "analyses recorded" [ "op"; "ac" ]
+    (List.map (fun d -> d.Sp.d_name) r.Sp.analyses);
+  Alcotest.(check (list string)) "ac args verbatim" [ "DEC"; "10"; "1"; "1meg" ]
+    (List.nth r.Sp.analyses 1).Sp.d_args;
+  Alcotest.(check string) ".TITLE wins" "hello" r.Sp.netlist.N.title;
+  (* canonical output is a fixpoint of convert *)
+  let c1 = Sp.to_canonical r in
+  let c2 = Sp.to_canonical (Sp.parse_result ~title:"" c1) in
+  Alcotest.(check string) "canonical fixpoint" c1 c2
+
+let test_warnings_not_errors () =
+  let r =
+    Sp.parse_result ~title:"w"
+      "V1 a 0 5\nR1 a 0 1k\nM1 a a 0 0 NMOS W=1u L=1u AD=2p\n.OPTIONS \
+       reltol=1e-4\n.END\n"
+  in
+  Alcotest.(check int) "no errors" 0 (List.length (Sp.errors r));
+  Alcotest.(check int) "warnings recorded" 2 (List.length (Sp.warnings r))
+
+let test_diag_spans () =
+  (* Spans survive continuation joining: the bad token sits on the
+     '+' line and the diagnostic must point there. *)
+  let r = Sp.parse_result ~title:"s" "V1 a 0 5\nR1 a 0\n+ oops\n" in
+  match Sp.errors r with
+  | [ d ] ->
+    Alcotest.(check int) "line" 3 d.Sp.span.Tk.first.Tk.line;
+    Alcotest.(check int) "col" 3 d.Sp.span.Tk.first.Tk.col;
+    Alcotest.(check (option string)) "source quoted" (Some "+ oops") d.Sp.source
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 error, got %d" (List.length ds))
+
+let test_bad_corpus () =
+  (* Every malformed deck must fail with exactly the frozen
+     diagnostics: file, span, caret position and message. *)
+  let dir = List.fold_left Filename.concat "golden" [ "decks"; "bad" ] in
+  let decks =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sp")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus present" true (List.length decks >= 8);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let r =
+        Sp.parse_result ~path ~title:""
+          (In_channel.with_open_text path In_channel.input_all)
+      in
+      Alcotest.(check bool) (f ^ ": has errors") true (Sp.errors r <> []);
+      let rendered = String.concat "" (List.map Sp.render r.Sp.diagnostics) in
+      let expect =
+        In_channel.with_open_text
+          (Filename.concat dir (Filename.chop_suffix f ".sp" ^ ".expect"))
+          In_channel.input_all
+      in
+      Alcotest.(check string) (f ^ ": exact diagnostics") expect rendered)
+    decks
+
+let prop_print_parse_print_fixpoint =
+  QCheck.Test.make ~name:"print→parse→print fixpoint" ~count:100
+    QCheck.(
+      triple (float_range 0.5 9.5e8) (float_range 1e-15 1e-6) (int_range 1 6))
+    (fun (r, c, n) ->
+      let b = B.create ~title:"qc" in
+      B.vsource b ~p:"n0" ~n:"0" ~ac:1. 5.;
+      for i = 1 to n do
+        B.resistor b
+          ~a:(Printf.sprintf "n%d" (i - 1))
+          ~b:(Printf.sprintf "n%d" i)
+          (r *. float_of_int i);
+        B.capacitor b ~a:(Printf.sprintf "n%d" i) ~b:"0" c
+      done;
+      let nl = B.finish b in
+      let p1 = N.to_spice nl in
+      let p2 = N.to_spice (Sp.parse ~title:"qc" p1) in
+      p1 = p2)
+
 let prop_instantiate_preserves_count =
   QCheck.Test.make ~name:"instantiate preserves element count" ~count:50
     QCheck.(string_gen_of_size (Gen.return 3) Gen.printable)
@@ -319,4 +584,28 @@ let () =
           Alcotest.test_case "golden deck roundtrips" `Quick
             test_golden_deck_roundtrip;
         ] );
+      ( "ingestion",
+        [
+          Alcotest.test_case "inline comment dialects" `Quick
+            test_inline_comment_dialects;
+          Alcotest.test_case "orphan continuation" `Quick
+            test_orphan_continuation;
+          Alcotest.test_case "source value clauses" `Quick
+            test_source_value_clauses;
+          Alcotest.test_case "spaced '=' and M=" `Quick
+            test_equals_whitespace_and_multiplier;
+          Alcotest.test_case "subckt flattening" `Quick test_subckt_flatten;
+          Alcotest.test_case "subckt parameters" `Quick test_subckt_params;
+          Alcotest.test_case "nested subckt" `Quick test_nested_subckt;
+          Alcotest.test_case "hier/flat differential" `Quick
+            test_hier_golden_differential;
+          Alcotest.test_case "include cycle" `Quick test_include_cycle;
+          Alcotest.test_case "missing include" `Quick test_missing_include;
+          Alcotest.test_case "analyses/title" `Quick test_analyses_and_title;
+          Alcotest.test_case "warnings stay warnings" `Quick
+            test_warnings_not_errors;
+          Alcotest.test_case "diagnostic spans" `Quick test_diag_spans;
+          Alcotest.test_case "malformed corpus" `Quick test_bad_corpus;
+        ] );
+      qsuite "ingestion-properties" [ prop_print_parse_print_fixpoint ];
     ]

@@ -105,6 +105,21 @@ let test_parse_card_spaces_and_continuation () =
   check_close "kp suffix" 25e-6 card.Card.kp;
   check_close "theta" 0.1 card.Card.theta
 
+let test_inline_comments_and_orphans () =
+  (* '$'/';' open a comment only at a token boundary. *)
+  let card =
+    Cp.parse_card ".MODEL N1 NMOS (VTO=0.7 $ trailing note\n+ KP=80U) ; tail"
+  in
+  check_close "vto" 0.7 card.Card.vto;
+  check_close "kp" 80e-6 card.Card.kp;
+  Alcotest.(check string)
+    "'$' glued to a token is kept" "A$B 1"
+    (Cp.join_lines "A$B 1");
+  (* a '+' line with nothing to continue is a hard error, not a card *)
+  match Cp.join_lines "+ KP=1" with
+  | exception Cp.Bad_card _ -> ()
+  | _ -> Alcotest.fail "expected Bad_card for orphan '+'"
+
 let test_parse_card_errors () =
   let expect_bad s =
     match Cp.parse_card s with
@@ -190,6 +205,8 @@ let () =
           Alcotest.test_case "basic card" `Quick test_parse_card_basic;
           Alcotest.test_case "spaces/continuations" `Quick
             test_parse_card_spaces_and_continuation;
+          Alcotest.test_case "inline comments/orphan '+'" `Quick
+            test_inline_comments_and_orphans;
           Alcotest.test_case "errors" `Quick test_parse_card_errors;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "deck" `Quick test_parse_deck;

@@ -67,6 +67,24 @@ let test_dc_diode_mosfet () =
     check_close "KCL" ((5. -. vd) /. 100e3) ids ~tol:1e-4
   | _ -> Alcotest.fail "expected one mosfet"
 
+let test_dc_multiplier_differential () =
+  (* M=2 on a 4e-6 device must be bit-identical to a single 8e-6
+     device everywhere in the engine (doubling a float is exact). *)
+  let deck m_clause =
+    Printf.sprintf
+      "VDD vdd 0 DC 5\nVIN g 0 DC 1.5\nRL vdd out 10k\n\
+       M1 out g 0 0 NMOS %s L=2e-6\n"
+      m_clause
+  in
+  let solve d = Dc.solve (Ape_circuit.Spice_parser.parse ~title:"m" d) in
+  let a = solve (deck "W=4e-6 M=2") and b = solve (deck "W=8e-6") in
+  List.iter
+    (fun node ->
+      Alcotest.(check (float 0.))
+        ("V(" ^ node ^ ")")
+        (Dc.voltage b node) (Dc.voltage a node))
+    [ "vdd"; "g"; "out" ]
+
 let test_dc_switch () =
   let net ctrl_v =
     let b = B.create ~title:"sw" in
@@ -969,6 +987,8 @@ let () =
           Alcotest.test_case "vcvs" `Quick test_dc_vcvs;
           Alcotest.test_case "diode mosfet" `Quick test_dc_diode_mosfet;
           Alcotest.test_case "switch" `Quick test_dc_switch;
+          Alcotest.test_case "M= multiplier differential" `Quick
+            test_dc_multiplier_differential;
           Alcotest.test_case "diff pair convergence" `Quick
             test_dc_diff_pair_convergence;
         ] );
