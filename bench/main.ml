@@ -1197,6 +1197,79 @@ let run_serve () =
   pf "wrote BENCH_serve.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* calib: grid-sample the opamp spec space, fit a calibration card and *)
+(* measure the Tables 2/3/5 catalog error with and without it.  ci.sh  *)
+(* gates cal_max_err <= raw_max_err (and the jobs-1-vs-3 card diff via *)
+(* ape calibrate).  Emits BENCH_calib.json.                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_calib () =
+  heading "Calibration: grid-fitted card vs raw catalog error";
+  let module C = Ape_check in
+  let module Cal = Ape_calib in
+  let points = if fast_mode then 8 else 16 in
+  let spec = { Cal.Grid.default with Cal.Grid.points; seed = 7 } in
+  let t0 = Unix.gettimeofday () in
+  let grid = Cal.Grid.run proc spec in
+  let grid_seconds = Unix.gettimeofday () -. t0 in
+  let points_per_s = float_of_int points /. Float.max 1e-9 grid_seconds in
+  pf "grid: %d points (%d evaluated, %d skipped) in %.2f s (%.1f pts/s)\n"
+    points grid.Cal.Grid.evaluated grid.Cal.Grid.skipped grid_seconds
+    points_per_s;
+  let card = C.Calibrate.fit ~slew:false ~extra:grid.Cal.Grid.samples proc in
+  let non_identity =
+    List.length
+      (List.filter
+         (fun e -> not (Cal.Card.is_identity e.Cal.Card.corr))
+         card.Cal.Card.entries)
+  in
+  pf "card: %d fits (%d non-identity)\n"
+    (List.length card.Cal.Card.entries)
+    non_identity;
+  let outcome = C.Check.run ~slew:false ~calibration:card proc in
+  let errors =
+    List.filter
+      (fun e -> Cal.Fit.calibratable e.C.Golden.e_attr)
+      (C.Check.error_table outcome)
+  in
+  pf "%-8s %-12s %9s %9s\n" "level" "attr" "raw max" "cal max";
+  List.iter
+    (fun e ->
+      pf "%-8s %-12s %8.2f%% %8.2f%%\n" e.C.Golden.e_level e.C.Golden.e_attr
+        (100. *. e.C.Golden.raw_max)
+        (100. *. e.C.Golden.cal_max))
+    errors;
+  let max_of f =
+    List.fold_left (fun acc e -> Float.max acc (f e)) 0. errors
+  in
+  let raw_max_err = max_of (fun e -> e.C.Golden.raw_max) in
+  let cal_max_err = max_of (fun e -> e.C.Golden.cal_max) in
+  let improved = cal_max_err < raw_max_err in
+  pf "catalog max error: raw %.2f%% -> calibrated %.2f%% (%s)\n"
+    (100. *. raw_max_err) (100. *. cal_max_err)
+    (if improved then "improved" else "no improvement");
+  let oc = open_out "BENCH_calib.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"grid_points\": %d,\n\
+    \  \"evaluated\": %d,\n\
+    \  \"skipped\": %d,\n\
+    \  \"grid_seconds\": %.4f,\n\
+    \  \"points_per_sec\": %.2f,\n\
+    \  \"fits\": %d,\n\
+    \  \"non_identity_fits\": %d,\n\
+    \  \"raw_max_err\": %.6f,\n\
+    \  \"cal_max_err\": %.6f,\n\
+    \  \"improved\": %b\n\
+     }\n"
+    points grid.Cal.Grid.evaluated grid.Cal.Grid.skipped grid_seconds
+    points_per_s
+    (List.length card.Cal.Card.entries)
+    non_identity raw_max_err cal_max_err improved;
+  close_out oc;
+  pf "wrote BENCH_calib.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Sparse MNA engine: dense vs symbolic-once/numeric-many sparse LU on *)
 (* a generated RC-ladder AC sweep.  The dense LU is O(n^3) per         *)
 (* frequency; the sparse refactorisation is O(nnz) on a tridiagonal-   *)
@@ -1477,6 +1550,7 @@ let all () =
   run_obs_overhead ();
   run_anneal ();
   run_serve ();
+  run_calib ();
   run_micro ()
 
 let () =
@@ -1495,11 +1569,12 @@ let () =
   | "obs-overhead" -> run_obs_overhead ()
   | "anneal" -> run_anneal ()
   | "serve" -> run_serve ()
+  | "calib" -> run_calib ()
   | "micro" -> run_micro ()
   | "all" -> all ()
   | other ->
     pf
       "unknown experiment %s (table1..table5, hierarchy, timing, ablation, \
-       mc, sweep, sparse, obs-overhead, anneal, serve, micro, all)\n"
+       mc, sweep, sparse, obs-overhead, anneal, serve, calib, micro, all)\n"
       other;
     exit 1

@@ -12,6 +12,9 @@
      ape sim FILE.sp [--out NODE] [--ac]
      ape verify [--level device|basic|opamp|module]... [--golden DIR]
                 [--update] [--tsv] [--no-slew] [--no-golden]
+                [--calibration CARD]
+     ape calibrate [GRID.scm] --out card.calib [--points N] [--seed N]
+                [--jobs N] [--tol 0.02] [--slew]
      ape serve [FILE... | -] [--watch DIR --once] [--jobs N --queue N]
                 [--shed --fail-fast --timeout SEC] [--deterministic]
                 [--out PATH]
@@ -71,6 +74,9 @@ let guard f =
     pf "job spec %d:%d: %s\n" pos.Ape_serve.Reader.line
       pos.Ape_serve.Reader.col msg;
     3
+  | Ape_calib.Card.Parse_error { pos; msg } ->
+    pf "%s\n" (Ape_calib.Card.describe_error ~pos ~msg);
+    3
 
 let trace_arg =
   Arg.(
@@ -114,6 +120,15 @@ let with_trace trace f =
   end
 
 (* ---------- shared arguments ---------- *)
+
+let calibration_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calibration" ] ~docv:"CARD"
+        ~doc:
+          "Calibration card (from $(b,ape calibrate)): apply its affine \
+           per-attribute, per-region corrections to the estimates.")
 
 let gain_arg =
   Arg.(required & opt (some number_conv) None & info [ "gain" ] ~doc:"DC gain requirement.")
@@ -325,10 +340,11 @@ let synth_cmd =
   in
   let run gain ugf ibias cl buffer zout wilson cascode mode seed area
       mc_samples jobs chains exchange_period cache_quantum cache_capacity
-      engine trace =
+      calibration engine trace =
     Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     guard @@ fun () ->
+    let calibration = Option.map Ape_calib.Card.load calibration in
     let buffer, bias, zout = topology buffer wilson cascode zout in
     let proto =
       {
@@ -362,7 +378,7 @@ let synth_cmd =
     in
     let r =
       S.Driver.run ?mc ~chains ~jobs ~exchange_period ?cache_quantum
-        ?cache_capacity ~rng proc ~mode row
+        ?cache_capacity ?calibration ~rng proc ~mode row
     in
     pf "%s\n" r.S.Driver.comment;
     pf "gain=%s ugf=%s area=%.0f um^2 power=%s (%d evaluations)\n"
@@ -400,7 +416,8 @@ let synth_cmd =
       const run $ gain_arg $ ugf_arg $ ibias_arg $ cl_arg $ buffer_arg
       $ zout_arg $ wilson_arg $ cascode_arg $ mode_arg $ seed_arg $ area_arg
       $ mc_samples_arg $ jobs_arg $ chains_arg $ exchange_period_arg
-      $ cache_quantum_arg $ cache_capacity_arg $ engine_arg $ trace_arg)
+      $ cache_quantum_arg $ cache_capacity_arg $ calibration_arg
+      $ engine_arg $ trace_arg)
 
 (* ---------- ape mc ---------- *)
 
@@ -666,10 +683,12 @@ let verify_cmd =
       & info [ "no-slew" ]
           ~doc:"Skip the opamp transient slew measurement (faster).")
   in
-  let run levels golden no_golden update tsv no_slew engine trace =
+  let run levels golden no_golden update tsv no_slew calibration engine
+      trace =
     Ape_spice.Backend.set engine;
     with_trace trace @@ fun () ->
     guard @@ fun () ->
+    let calibration = Option.map Ape_calib.Card.load calibration in
     let levels =
       match levels with
       | [] -> C.Tolerance.all_levels
@@ -685,7 +704,8 @@ let verify_cmd =
     in
     let golden_dir = if no_golden then None else golden in
     let outcome =
-      C.Check.run ~slew:(not no_slew) ?golden_dir ~update ~levels proc
+      C.Check.run ~slew:(not no_slew) ?calibration ?golden_dir ~update
+        ~levels proc
     in
     print_string (C.Check.render ~tsv outcome);
     if C.Check.ok outcome then 0 else 2
@@ -697,7 +717,118 @@ let verify_cmd =
           attribute against its tolerance and the golden tables.")
     Term.(
       const run $ level_arg $ golden_arg $ no_golden_arg $ update_arg
-      $ tsv_arg $ no_slew_arg $ engine_arg $ trace_arg)
+      $ tsv_arg $ no_slew_arg $ calibration_arg $ engine_arg $ trace_arg)
+
+(* ---------- ape calibrate ---------- *)
+
+let calibrate_cmd =
+  let module C = Ape_check in
+  let module Cal = Ape_calib in
+  let grid_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"GRID"
+          ~doc:
+            "Grid spec file, e.g. (grid (points 32) (ugf 800k 14meg)); \
+             every field optional, defaults bracket the paper's Table 3 \
+             specs.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"CARD" ~doc:"Where to write the fitted card.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "points" ] ~docv:"N" ~doc:"Override the grid point count.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Override the grid RNG seed.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains evaluating grid points.  The card is \
+             bit-identical for every value.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt number_conv 0.02
+      & info [ "tol" ]
+          ~doc:
+            "Keep the identity correction wherever the raw max relative \
+             error is already within this tolerance.")
+  in
+  let slew_arg =
+    Arg.(
+      value & flag
+      & info [ "slew" ]
+          ~doc:"Also run the transient slew measurement (slower).")
+  in
+  let run grid out points seed jobs tol slew engine trace =
+    Ape_spice.Backend.set engine;
+    with_trace trace @@ fun () ->
+    guard @@ fun () ->
+    let spec =
+      match grid with
+      | Some file -> Cal.Grid.load_spec file
+      | None -> Cal.Grid.default
+    in
+    let spec =
+      {
+        spec with
+        Cal.Grid.points = Option.value ~default:spec.Cal.Grid.points points;
+        seed = Option.value ~default:spec.Cal.Grid.seed seed;
+        jobs = Option.value ~default:spec.Cal.Grid.jobs jobs;
+        slew = spec.Cal.Grid.slew || slew;
+      }
+    in
+    let grid = Cal.Grid.run proc spec in
+    pf "grid: %d points, %d evaluated, %d skipped\n"
+      spec.Cal.Grid.points grid.Cal.Grid.evaluated grid.Cal.Grid.skipped;
+    let card =
+      C.Calibrate.fit ~slew:spec.Cal.Grid.slew ~tol
+        ~extra:grid.Cal.Grid.samples proc
+    in
+    Cal.Card.save out card;
+    let fitted =
+      List.filter
+        (fun e -> not (Cal.Card.is_identity e.Cal.Card.corr))
+        card.Cal.Card.entries
+    in
+    pf "%-8s %-12s %-8s %12s %12s %5s %9s %9s\n" "level" "attr" "region"
+      "scale" "bias" "n" "raw err" "cal err";
+    List.iter
+      (fun e ->
+        pf "%-8s %-12s %-8s %12.6g %12.6g %5d %8.2f%% %8.2f%%\n"
+          e.Cal.Card.level e.Cal.Card.attr
+          (Cal.Card.region_name e.Cal.Card.region)
+          e.Cal.Card.corr.Cal.Card.scale e.Cal.Card.corr.Cal.Card.bias
+          e.Cal.Card.n
+          (100. *. e.Cal.Card.raw_err)
+          (100. *. e.Cal.Card.cal_err))
+      card.Cal.Card.entries;
+    pf "wrote %s (%d fits, %d non-identity)\n" out
+      (List.length card.Cal.Card.entries)
+      (List.length fitted);
+    0
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Sweep a design grid with the estimator and the simulator, fit \
+          per-attribute affine corrections and write a calibration card \
+          for $(b,ape verify --calibration) / $(b,ape synth \
+          --calibration).")
+    Term.(
+      const run $ grid_arg $ out_arg $ points_arg $ seed_arg $ jobs_arg
+      $ tol_arg $ slew_arg $ engine_arg $ trace_arg)
 
 (* ---------- ape serve ---------- *)
 
@@ -1034,5 +1165,5 @@ let () =
        (Cmd.group info
           [
             opamp_cmd; module_cmd; synth_cmd; mc_cmd; sim_cmd; convert_cmd;
-            verify_cmd; serve_cmd; stats_cmd; vase_cmd;
+            verify_cmd; calibrate_cmd; serve_cmd; stats_cmd; vase_cmd;
           ]))

@@ -170,4 +170,34 @@ dune exec bin/ape.exe -- mc opamp --gain 200 --ugf 2meg --samples 200 --jobs 4 \
 diff /tmp/ape_mc_jobs1.txt /tmp/ape_mc_jobs4.txt
 rm -f /tmp/ape_mc_jobs1.txt /tmp/ape_mc_jobs4.txt
 
+echo "== ape calibrate determinism (8-point grid, jobs 1 vs jobs 3) =="
+# The card is fitted from Pool-mapped grid samples with per-point split
+# RNG streams; the printed card must be byte-identical for any worker
+# count.
+dune exec bin/ape.exe -- calibrate --points 8 --seed 5 --jobs 1 \
+  --out /tmp/ape_card_jobs1.calib > /dev/null
+dune exec bin/ape.exe -- calibrate --points 8 --seed 5 --jobs 3 \
+  --out /tmp/ape_card_jobs3.calib > /dev/null
+diff /tmp/ape_card_jobs1.calib /tmp/ape_card_jobs3.calib
+
+echo "== ape verify --calibration (calibrated run against the goldens) =="
+# Golden tables persist the raw estimates, so a calibrated run must
+# still match them; hardening guarantees no gated attribute worsens.
+dune exec bin/ape.exe -- verify --calibration /tmp/ape_card_jobs1.calib \
+  --golden test/golden
+rm -f /tmp/ape_card_jobs1.calib /tmp/ape_card_jobs3.calib
+
+echo "== calibration bench (calibrated catalog error <= raw) =="
+dune exec bench/main.exe -- calib
+awk -F': *|,' '/"raw_max_err"/ { raw = $2 }
+  /"cal_max_err"/ { cal = $2 }
+  /"improved"/ { improved = $2 }
+  END {
+    if (cal + 0. > raw + 0.) {
+      printf "FAIL: calibrated max error %.4f > raw %.4f\n", cal, raw; exit 1 }
+    if (improved != "true") { print "FAIL: card did not improve the catalog"; exit 1 }
+    printf "calibrated max error %.4f <= raw %.4f OK\n", cal, raw
+  }' BENCH_calib.json
+echo "archived BENCH_calib.json"
+
 echo "CI OK"

@@ -1,0 +1,124 @@
+type sample = {
+  s_level : string;
+  s_attr : string;
+  s_region : Card.region;
+  s_est : float;
+  s_sim : float;
+}
+
+(* Area attributes are exact by construction (the estimator and the
+   layout generator share one gate-count model); "correcting" them
+   against simulated parasitics would break the 1e-6 verify gate for
+   nothing.  Everything else is fair game. *)
+let calibratable attr =
+  match attr with "gate_area" | "total_area" | "area" -> false | _ -> true
+
+let rel_err ~est ~sim =
+  if est = sim then 0.
+  else Float.abs (est -. sim) /. Float.max (Float.abs sim) 1e-300
+
+let max_err corr samples =
+  List.fold_left
+    (fun acc s -> Float.max acc (rel_err ~est:(Card.correct corr s.s_est) ~sim:s.s_sim))
+    0. samples
+
+(* Least-squares candidates on one (level, attr, region) group.  Scale
+   must stay positive: a fit that flips an attribute's sign is noise,
+   not calibration. *)
+let candidates samples =
+  let n = List.length samples in
+  let fn = float_of_int n in
+  let sx, sy, sxx, sxy =
+    List.fold_left
+      (fun (sx, sy, sxx, sxy) s ->
+        ( sx +. s.s_est,
+          sy +. s.s_sim,
+          sxx +. (s.s_est *. s.s_est),
+          sxy +. (s.s_est *. s.s_sim) ))
+      (0., 0., 0., 0.) samples
+  in
+  let ok c =
+    Float.is_finite c.Card.scale && Float.is_finite c.Card.bias
+    && c.Card.scale > 0.
+  in
+  let scale_only =
+    if sxx > 0. then
+      let c = { Card.scale = sxy /. sxx; bias = 0. } in
+      if ok c then [ c ] else []
+    else []
+  in
+  let affine =
+    let mean_x = sx /. fn in
+    let var_x = (sxx /. fn) -. (mean_x *. mean_x) in
+    if n >= 3 && var_x > 1e-18 *. (1. +. (mean_x *. mean_x)) then begin
+      let det = (fn *. sxx) -. (sx *. sx) in
+      let c =
+        {
+          Card.scale = ((fn *. sxy) -. (sx *. sy)) /. det;
+          bias = ((sy *. sxx) -. (sx *. sxy)) /. det;
+        }
+      in
+      if ok c then [ c ] else []
+    end
+    else []
+  in
+  (* Identity first: it wins ties, so a correction must strictly earn
+     its place. *)
+  Card.identity :: (scale_only @ affine)
+
+let fit_group samples =
+  let raw_err = max_err Card.identity samples in
+  List.fold_left
+    (fun (best, best_err) c ->
+      let e = max_err c samples in
+      if e < best_err then (c, e) else (best, best_err))
+    (Card.identity, raw_err)
+    (candidates samples)
+
+let fit ?(tol = 0.02) ~process samples =
+  let samples =
+    List.filter
+      (fun s ->
+        calibratable s.s_attr
+        && Float.is_finite s.s_est
+        && Float.is_finite s.s_sim)
+      samples
+  in
+  let groups = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let key = (s.s_level, s.s_attr, s.s_region) in
+      match Hashtbl.find_opt groups key with
+      | Some prev -> Hashtbl.replace groups key (s :: prev)
+      | None ->
+        Hashtbl.replace groups key [ s ];
+        order := key :: !order)
+    samples;
+  let entries =
+    List.rev_map
+      (fun ((level, attr, region) as key) ->
+        let group = List.rev (Hashtbl.find groups key) in
+        let raw_err = max_err Card.identity group in
+        let corr, cal_err =
+          (* Residual already inside tolerance: record the check, keep
+             the estimator untouched. *)
+          if raw_err <= tol then (Card.identity, raw_err)
+          else fit_group group
+        in
+        {
+          Card.level;
+          attr;
+          region;
+          corr;
+          n = List.length group;
+          raw_err;
+          cal_err;
+        })
+      !order
+  in
+  {
+    Card.version = Card.version;
+    process;
+    entries = Card.sort_entries entries;
+  }

@@ -1,0 +1,47 @@
+(** Deterministic design-grid sampling for calibration.
+
+    [run] sweeps the opamp synthesis template's spec space — gain, UGF,
+    tail current, load capacitance drawn log-uniformly, plus
+    buffer/topology variants — running the estimator {e and} the
+    simulator at every point and pairing their attribute values into
+    {!Fit.sample}s tagged with the point's {!Card.region}.
+
+    Determinism: point [i] draws from stream [i] of a single
+    {!Ape_util.Rng.split_n}, and points are evaluated with
+    {!Ape_mc.Pool.map}, so the sample list is bit-identical for any
+    [jobs] value — the property behind CI's jobs-1-vs-3 card diff.
+    Points where the template is infeasible or the simulator fails to
+    converge are skipped (and counted): a calibration grid deliberately
+    walks past the feasibility edge. *)
+
+type range = float * float
+
+type spec = {
+  points : int;
+  seed : int;
+  jobs : int;
+  av : range;
+  ugf : range;
+  ibias : range;
+  cl : range;
+  slew : bool;  (** also run the transient step (slow) *)
+}
+
+val default : spec
+(** 16 points, seed 1, sequential, ranges bracketing Table 3's specs,
+    no transient. *)
+
+val parse_spec : string -> spec
+(** Parse a [(grid (points 32) (ugf 800k 14meg) ...)] spec; every field
+    optional over {!default}; numbers take SPICE suffixes.  Raises
+    {!Card.Parse_error} with positions. *)
+
+val load_spec : string -> spec
+
+type result = {
+  samples : Fit.sample list;  (** in point order *)
+  evaluated : int;
+  skipped : int;
+}
+
+val run : Ape_process.Process.t -> spec -> result

@@ -1,0 +1,39 @@
+(** Catalog-anchored calibration: fit a {!Ape_calib.Card} from the
+    differential-verification catalog (the paper's Tables 2/3/5 cases)
+    plus any extra grid samples, then harden it so calibrated error
+    can never exceed raw error on the catalog itself.
+
+    This is the engine behind [ape calibrate]: {!Ape_calib.Grid}
+    supplies breadth (random design points across the spec space), the
+    catalog supplies the anchor the CI gate measures on, and {!harden}
+    makes "calibrated ≤ raw on the goldens" true by construction. *)
+
+val samples_of_rows :
+  level:Tolerance.level ->
+  ?region_of_case:(string -> Ape_calib.Card.region) ->
+  Diff.row list ->
+  Ape_calib.Fit.sample list
+(** Pair each row's raw estimate with its simulation (rows missing a
+    side are dropped).  [region_of_case] defaults to [All]. *)
+
+val opamp_region_of_case : unit -> string -> Ape_calib.Card.region
+(** The operating region of each Table 3 opamp, by case name
+    (unknown cases map to [All]). *)
+
+val catalog_samples :
+  ?slew:bool -> Ape_process.Process.t -> Ape_calib.Fit.sample list
+(** Fresh basic/opamp/module catalog runs as fitting samples. *)
+
+val harden :
+  Ape_calib.Card.t -> samples:Ape_calib.Fit.sample list -> Ape_calib.Card.t
+(** Reset to identity every (level, attr) whose max error over
+    [samples] the card makes worse. *)
+
+val fit :
+  ?slew:bool ->
+  ?tol:float ->
+  ?extra:Ape_calib.Fit.sample list ->
+  Ape_process.Process.t ->
+  Ape_calib.Card.t
+(** Catalog + [extra] samples → fitted, hardened card ([tol] as in
+    {!Ape_calib.Fit.fit}). *)

@@ -3,10 +3,28 @@ module Mos = Ape_device.Mos
 module Proc = Ape_process.Process
 module B = Ape_circuit.Builder
 
+module Card = Ape_calib.Card
+
 let gate_of tols attr =
   match Tolerance.find tols attr with
   | Some t -> t.Tolerance.gate
   | None -> Tolerance.Report_only
+
+(* Re-gate one level's rows through a calibration card.  The card is
+   keyed by tolerance-level name; opamp cases carry their own operating
+   region (from the spec that produced them), everything else uses the
+   region-free [All] entries. *)
+let apply_card ?calibration ~level ~region rows =
+  match calibration with
+  | None -> rows
+  | Some card ->
+    let level = Tolerance.level_name level in
+    List.map
+      (Diff.calibrate ~f:(fun attr v ->
+           match Card.find card ~level ~attr ~region with
+           | None -> None
+           | Some e -> Some (Card.correct e.Card.corr v)))
+      rows
 
 (* ------------------------------------------------------------------ *)
 (* Level 1: single sized transistors.  The estimate side is the sized
@@ -57,7 +75,10 @@ let device_case ~process ~name card ~pmos spec =
       ~est:(Some sized.Mos.gds) ~sim:sim_gds;
   ]
 
-let device_rows process =
+let device_rows ?calibration process =
+  ignore calibration;
+  (* Level-1 closed forms are the model itself; there is nothing to
+     calibrate them against that would not just be the simulator. *)
   let l2 = 2. *. process.Proc.lmin in
   let c ~name card ~pmos spec = device_case ~process ~name card ~pmos spec in
   List.concat
@@ -78,7 +99,7 @@ let device_rows process =
 (* Level 2: the paper's Table 2 basic-component set.                   *)
 (* ------------------------------------------------------------------ *)
 
-let basic_rows process =
+let basic_rows ?calibration process =
   let tols = Tolerance.for_level Tolerance.Basic in
   let rows ~case est sim = Diff.rows_of_perf ~case ~tols est sim in
   let dc_volt =
@@ -116,19 +137,20 @@ let basic_rows process =
       d.E.Diff_pair.perf
       (E.Verify.sim_diff_pair process d)
   in
-  List.concat
-    [
-      dc_volt;
-      mirror E.Bias.Simple;
-      mirror E.Bias.Wilson;
-      mirror E.Bias.Cascode;
-      stage E.Gain_stage.Gain_nmos 8.5 120e-6;
-      stage E.Gain_stage.Gain_cmos 19. 120e-6;
-      stage E.Gain_stage.Gain_cmosh 5.1 45e-6;
-      stage E.Gain_stage.Follower_stage 0.8 100e-6;
-      diff E.Diff_pair.Nmos_diode 4.;
-      diff E.Diff_pair.Cmos_mirror 1000.;
-    ]
+  apply_card ?calibration ~level:Tolerance.Basic ~region:Card.All
+    (List.concat
+       [
+         dc_volt;
+         mirror E.Bias.Simple;
+         mirror E.Bias.Wilson;
+         mirror E.Bias.Cascode;
+         stage E.Gain_stage.Gain_nmos 8.5 120e-6;
+         stage E.Gain_stage.Gain_cmos 19. 120e-6;
+         stage E.Gain_stage.Gain_cmosh 5.1 45e-6;
+         stage E.Gain_stage.Follower_stage 0.8 100e-6;
+         diff E.Diff_pair.Nmos_diode 4.;
+         diff E.Diff_pair.Cmos_mirror 1000.;
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Level 3: the paper's Table 3 opamps.                                *)
@@ -150,7 +172,7 @@ let opamp_specs () =
         ~ibias:1e-6 ~cl:10e-12 () );
   ]
 
-let opamp_rows ?(slew = true) process =
+let opamp_rows ?(slew = true) ?calibration process =
   let tols = Tolerance.for_level Tolerance.Opamp in
   let tols =
     (* Without the transient step there is nothing to gate slew on. *)
@@ -158,10 +180,15 @@ let opamp_rows ?(slew = true) process =
     else List.filter (fun t -> t.Tolerance.attr <> "slew_rate") tols
   in
   List.concat_map
-    (fun (case, spec) ->
+    (fun (case, (spec : E.Opamp.spec)) ->
       let d = E.Opamp.design process spec in
-      Diff.rows_of_perf ~case ~tols d.E.Opamp.perf
-        (E.Verify.sim_opamp ~slew process d))
+      let region =
+        Card.region_of ~ugf:spec.E.Opamp.ugf ~ibias:spec.E.Opamp.ibias
+          ~cl:spec.E.Opamp.cl
+      in
+      apply_card ?calibration ~level:Tolerance.Opamp ~region
+        (Diff.rows_of_perf ~case ~tols d.E.Opamp.perf
+           (E.Verify.sim_opamp ~slew process d)))
     (opamp_specs ())
 
 (* ------------------------------------------------------------------ *)
@@ -245,9 +272,10 @@ let module_keys = function
   | E.Module_lib.Closed_loop_m _ | E.Module_lib.Comparator_m _ ->
     [ "gain"; "bandwidth"; "area"; "power" ]
 
-let module_rows process =
+let module_rows ?calibration process =
   let tols = Tolerance.for_level Tolerance.Module_level in
-  List.concat_map
+  apply_card ?calibration ~level:Tolerance.Module_level ~region:Card.All
+  @@ List.concat_map
     (fun (case, spec) ->
       let keys = module_keys spec in
       let design = E.Module_lib.design process spec in
@@ -268,8 +296,8 @@ let module_rows process =
 
 (* ------------------------------------------------------------------ *)
 
-let rows_for ?slew process = function
-  | Tolerance.Device -> device_rows process
-  | Tolerance.Basic -> basic_rows process
-  | Tolerance.Opamp -> opamp_rows ?slew process
-  | Tolerance.Module_level -> module_rows process
+let rows_for ?slew ?calibration process = function
+  | Tolerance.Device -> device_rows ?calibration process
+  | Tolerance.Basic -> basic_rows ?calibration process
+  | Tolerance.Opamp -> opamp_rows ?slew ?calibration process
+  | Tolerance.Module_level -> module_rows ?calibration process

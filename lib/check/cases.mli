@@ -8,17 +8,37 @@
     Tables 2, 3 and 5 (same specs as [bench/main.ml]); level 1 biases
     individually sized transistors in a one-device testbench and
     compares the closed-form gm/gds/I_DS against the simulation
-    model. *)
+    model.
 
-val device_rows : Ape_process.Process.t -> Diff.row list
+    A [calibration] card re-gates the rows through its corrections
+    ({!Diff.calibrate}): opamp cases look up their own operating
+    region (computed from the spec that produced them), basic/module
+    cases use the region-free entries, and level-1 rows are never
+    calibrated (the closed forms are the model itself). *)
 
-val basic_rows : Ape_process.Process.t -> Diff.row list
+val opamp_specs : unit -> (string * Ape_estimator.Opamp.spec) list
+(** Table 3's four opamps, by name. *)
 
-val opamp_rows : ?slew:bool -> Ape_process.Process.t -> Diff.row list
+val device_rows :
+  ?calibration:Ape_calib.Card.t -> Ape_process.Process.t -> Diff.row list
+
+val basic_rows :
+  ?calibration:Ape_calib.Card.t -> Ape_process.Process.t -> Diff.row list
+
+val opamp_rows :
+  ?slew:bool ->
+  ?calibration:Ape_calib.Card.t ->
+  Ape_process.Process.t ->
+  Diff.row list
 (** [slew] (default true) also runs the unity-feedback transient step;
     with [~slew:false] the slew gate is dropped entirely. *)
 
-val module_rows : Ape_process.Process.t -> Diff.row list
+val module_rows :
+  ?calibration:Ape_calib.Card.t -> Ape_process.Process.t -> Diff.row list
 
 val rows_for :
-  ?slew:bool -> Ape_process.Process.t -> Tolerance.level -> Diff.row list
+  ?slew:bool ->
+  ?calibration:Ape_calib.Card.t ->
+  Ape_process.Process.t ->
+  Tolerance.level ->
+  Diff.row list

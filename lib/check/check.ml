@@ -16,9 +16,9 @@ let ok t = failures t = [] && drifts t = []
 
 let c_rows = Ape_obs.counter "check.rows"
 
-let run_level ?slew ?golden_dir ~update process level =
+let run_level ?slew ?calibration ?golden_dir ~update process level =
   Ape_obs.span (Tolerance.level_name level) @@ fun () ->
-  let rows = Cases.rows_for ?slew process level in
+  let rows = Cases.rows_for ?slew ?calibration process level in
   Ape_obs.add c_rows (List.length rows);
   match golden_dir with
   | None -> { level; rows; drifts = []; promoted = false }
@@ -49,12 +49,45 @@ let run_level ?slew ?golden_dir ~update process level =
       | Some golden ->
         { level; rows; drifts = Golden.compare_rows ~golden rows; promoted = false })
 
-let run ?slew ?golden_dir ?(update = false) ?(levels = Tolerance.all_levels)
-    process =
+let run ?slew ?calibration ?golden_dir ?(update = false)
+    ?(levels = Tolerance.all_levels) process =
   let update = update || Golden.update_requested () in
   (* Verify wall-time per hierarchy level: spans nest as verify/<level>. *)
   Ape_obs.span "verify" @@ fun () ->
-  { results = List.map (run_level ?slew ?golden_dir ~update process) levels }
+  {
+    results =
+      List.map (run_level ?slew ?calibration ?golden_dir ~update process) levels;
+  }
+
+(* Per-(level, attr) max relative error, raw and calibrated, over every
+   row that has both sides.  For uncalibrated runs the two columns are
+   equal — the frozen snapshot in test/golden then shows exactly what a
+   card buys. *)
+let error_table t =
+  List.concat_map
+    (fun r ->
+      let level = Tolerance.level_name r.level in
+      let tbl = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun (row : Diff.row) ->
+          match (Diff.raw_rel_err row, row.Diff.rel_err) with
+          | Some raw, Some cal ->
+            let attr = row.Diff.attr in
+            (match Hashtbl.find_opt tbl attr with
+            | Some (r0, c0) ->
+              Hashtbl.replace tbl attr (Float.max r0 raw, Float.max c0 cal)
+            | None ->
+              Hashtbl.replace tbl attr (raw, cal);
+              order := attr :: !order)
+          | _ -> ())
+        r.rows;
+      List.rev_map
+        (fun attr ->
+          let raw_max, cal_max = Hashtbl.find tbl attr in
+          { Golden.e_level = level; e_attr = attr; raw_max; cal_max })
+        !order)
+    t.results
 
 let render ?(tsv = false) t =
   let b = Buffer.create 4096 in

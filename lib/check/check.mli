@@ -16,13 +16,23 @@ type outcome = { results : level_result list }
 
 val run :
   ?slew:bool ->
+  ?calibration:Ape_calib.Card.t ->
   ?golden_dir:string ->
   ?update:bool ->
   ?levels:Tolerance.level list ->
   Ape_process.Process.t ->
   outcome
 (** [update] (or the env var [APE_UPDATE_GOLDEN=1]) promotes the fresh
-    values into the golden tables instead of comparing. *)
+    values into the golden tables instead of comparing.  [calibration]
+    re-gates every estimate through the card's corrections; golden
+    tables still persist (and compare) the {e raw} estimates, so one
+    set of tables serves calibrated and raw runs alike. *)
+
+val error_table : outcome -> Golden.error_entry list
+(** Per-(level, attribute) max relative error, raw and calibrated —
+    equal columns for an uncalibrated run.  This is what the frozen
+    [calib_errors.tsv] snapshot and [BENCH_calib.json] are built
+    from. *)
 
 val failures : outcome -> Diff.row list
 val drifts : outcome -> Golden.drift list

@@ -12,6 +12,7 @@ type row = {
   case : string;
   attr : string;
   est : float option;
+  raw_est : float option;
   sim : float option;
   rel_err : float option;
   gate : Tolerance.gate;
@@ -53,7 +54,29 @@ let make ~case ~attr ~gate ~est ~sim =
       | Some e when e <= bound -> Pass
       | _ -> Fail)
   in
-  { case; attr; est; sim; rel_err = err; gate; status }
+  { case; attr; est; raw_est = est; sim; rel_err = err; gate; status }
+
+let calibrated r = r.est <> r.raw_est
+
+let raw_rel_err r =
+  match (r.raw_est, r.sim) with
+  | Some e, Some s -> Some (rel_err ~est:e ~sim:s)
+  | _ -> None
+
+(* Re-gate a row through a correction.  The corrected value replaces
+   [est] (status and error are recomputed against the same gate);
+   [raw_est] keeps the uncorrected estimate so golden tables stay
+   calibration-independent and reports can show both columns. *)
+let calibrate ~f r =
+  match r.est with
+  | None -> r
+  | Some e -> (
+    match f r.attr e with
+    | None -> r
+    | Some e' when e' = e -> r
+    | Some e' ->
+      let r' = make ~case:r.case ~attr:r.attr ~gate:r.gate ~est:(Some e') ~sim:r.sim in
+      { r' with raw_est = r.est })
 
 (* The shared attribute naming between {!Tolerance} sets, golden tables
    and reports.  [dc_power] travels as "power". *)

@@ -18,7 +18,11 @@ val status_name : status -> string
 type row = {
   case : string;
   attr : string;
-  est : float option;
+  est : float option;  (** the gated estimate (corrected when calibrated) *)
+  raw_est : float option;
+      (** the uncorrected estimate; equal to [est] unless {!calibrate}
+          changed it.  Golden tables persist this column, so one set of
+          tables serves calibrated and raw runs alike. *)
   sim : float option;
   rel_err : float option;  (** |est − sim| / |sim|, when both exist *)
   gate : Tolerance.gate;
@@ -26,6 +30,17 @@ type row = {
 }
 
 val rel_err : est:float -> sim:float -> float
+
+val calibrated : row -> bool
+(** True when a correction actually moved this row's estimate. *)
+
+val raw_rel_err : row -> float option
+(** |raw_est − sim| / |sim|, when both exist. *)
+
+val calibrate : f:(string -> float -> float option) -> row -> row
+(** [calibrate ~f row] replaces the estimate with [f attr est] (when
+    [Some] and different), recomputing error and status against the
+    unchanged gate; [raw_est] keeps the original. *)
 
 val make :
   case:string ->

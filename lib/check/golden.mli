@@ -37,3 +37,32 @@ val compare_rows :
 
 val update_requested : unit -> bool
 (** True when [APE_UPDATE_GOLDEN] is set to 1/true/yes. *)
+
+(** {1 Calibrated-error snapshot}
+
+    A frozen per-(level, attribute) table of max relative error before
+    and after calibration ([calib_errors.tsv]), promoted through the
+    same [--update]/[APE_UPDATE_GOLDEN=1] path as the value tables.
+    Error values are ratios of nearly-cancelling quantities — est≈sim
+    makes the relative error itself ill-conditioned — so comparisons
+    take an absolute floor [atol] (default 2e-3) on top of [rtol]. *)
+
+type error_entry = {
+  e_level : string;
+  e_attr : string;
+  raw_max : float;
+  cal_max : float;
+}
+
+val errors_path : dir:string -> string
+
+val save_errors : dir:string -> error_entry list -> unit
+
+val load_errors : dir:string -> error_entry list option
+(** [None] when the table does not exist yet. *)
+
+val compare_errors :
+  ?rtol:float -> ?atol:float -> golden:error_entry list -> error_entry list ->
+  drift list
+(** Empty list = fresh errors match the frozen table.  [drift.case]
+    carries the level name. *)

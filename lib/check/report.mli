@@ -13,3 +13,6 @@ val summary : Diff.row list -> string
 
 val attr_stats : Diff.row list -> (string * int * float * float) list
 (** [(attr, rows, mean, max)] relative-error statistics. *)
+
+val raw_attr_stats : Diff.row list -> (string * int * float * float) list
+(** Same statistics over the raw (pre-calibration) estimates. *)

@@ -31,7 +31,7 @@ type payload =
       seed : int option;
     }
   | Sim of { file : string; out : string option }
-  | Verify of { levels : string list; slew : bool }
+  | Verify of { levels : string list; slew : bool; calibration : string option }
 
 type t = { id : string; timeout : float option; payload : payload }
 
@@ -262,7 +262,12 @@ let parse_payload ~id fields kind kind_span =
            else args)
     in
     let slew = not (flag fields "no-slew") in
-    Verify { levels; slew }
+    let calibration =
+      match field fields "calibration" with
+      | Some (args, span) -> Some (the_atom ~id span args)
+      | None -> None
+    in
+    Verify { levels; slew; calibration }
   | other ->
     reject ~id ~span:kind_span
       (Printf.sprintf
@@ -423,11 +428,14 @@ let print (job : t) =
       (match out with
       | Some o -> [ Printf.sprintf "(out %s)" (print_atom o) ]
       | None -> [])
-    | Verify { levels; slew } ->
+    | Verify { levels; slew; calibration } ->
       (match levels with
       | [] -> []
       | ls -> [ "(levels " ^ String.concat " " ls ^ ")" ])
-      @ if slew then [] else [ "(no-slew)" ]
+      @ (if slew then [] else [ "(no-slew)" ])
+      @ (match calibration with
+        | Some c -> [ Printf.sprintf "(calibration %s)" (print_atom c) ]
+        | None -> [])
   in
   Printf.sprintf "(job %s %s)"
     (kind_name job)

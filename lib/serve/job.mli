@@ -65,6 +65,9 @@ type payload =
   | Verify of {
       levels : string list;  (** validated level names; [] = all *)
       slew : bool;  (** default true; [(no-slew)] clears it *)
+      calibration : string option;
+          (** calibration-card path; loaded at run time, so a missing
+              or malformed card fails this job, not the daemon *)
     }
 
 type t = {

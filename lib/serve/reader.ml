@@ -1,134 +1,5 @@
-type pos = { line : int; col : int }
-type span = { s_start : pos; s_end : pos }
-type t = Atom of string * span | List of t list * span
-
-exception Error of { pos : pos; msg : string }
-
-let fail pos msg = raise (Error { pos; msg })
-
-let span_of = function Atom (_, s) -> s | List (_, s) -> s
-
-let pp_pos p = Printf.sprintf "%d:%d" p.line p.col
-
-let pp_span s =
-  if s.s_start.line = s.s_end.line && s.s_end.col <= s.s_start.col + 1 then
-    pp_pos s.s_start
-  else Printf.sprintf "%s-%s" (pp_pos s.s_start) (pp_pos s.s_end)
-
-let atom = function
-  | Atom (a, _) -> a
-  | List (_, s) -> fail s.s_start "expected an atom, got a list"
-
-(* One pass over the text, tracking line/col as we go.  Tokens carry
-   their spans; the recursive-descent pass below only assembles lists. *)
-type token =
-  | T_open of pos
-  | T_close of pos
-  | T_atom of string * span
-
-let tokenize text =
-  let n = String.length text in
-  let tokens = ref [] in
-  let line = ref 1 and col = ref 1 in
-  let i = ref 0 in
-  let here () = { line = !line; col = !col } in
-  let advance c =
-    if Char.equal c '\n' then begin
-      incr line;
-      col := 1
-    end
-    else incr col;
-    incr i
-  in
-  let read_quoted () =
-    let start = here () in
-    let buf = Buffer.create 16 in
-    advance '"';
-    let rec loop () =
-      if !i >= n then fail start "unterminated string"
-      else
-        match text.[!i] with
-        | '"' ->
-          advance '"';
-          Buffer.contents buf
-        | '\\' ->
-          advance '\\';
-          if !i >= n then fail start "unterminated string"
-          else begin
-            let c = text.[!i] in
-            (match c with
-            | '\\' -> Buffer.add_char buf '\\'
-            | '"' -> Buffer.add_char buf '"'
-            | 'n' -> Buffer.add_char buf '\n'
-            | 't' -> Buffer.add_char buf '\t'
-            | other ->
-              fail (here ()) (Printf.sprintf "unknown escape '\\%c'" other));
-            advance c;
-            loop ()
-          end
-        | c ->
-          Buffer.add_char buf c;
-          advance c;
-          loop ()
-    in
-    let contents = loop () in
-    tokens := T_atom (contents, { s_start = start; s_end = here () }) :: !tokens
-  in
-  let read_bare () =
-    let start = here () in
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      if !i < n then
-        match text.[!i] with
-        | '(' | ')' | ';' | '"' | ' ' | '\t' | '\n' | '\r' -> ()
-        | c ->
-          Buffer.add_char buf c;
-          advance c;
-          loop ()
-    in
-    loop ();
-    tokens :=
-      T_atom (Buffer.contents buf, { s_start = start; s_end = here () })
-      :: !tokens
-  in
-  while !i < n do
-    match text.[!i] with
-    | ';' ->
-      while !i < n && text.[!i] <> '\n' do
-        advance text.[!i]
-      done
-    | '(' ->
-      tokens := T_open (here ()) :: !tokens;
-      advance '('
-    | ')' ->
-      tokens := T_close (here ()) :: !tokens;
-      advance ')'
-    | '"' -> read_quoted ()
-    | (' ' | '\t' | '\n' | '\r') as c -> advance c
-    | _ -> read_bare ()
-  done;
-  List.rev !tokens
-
-let parse text =
-  let rec parse_list opened acc = function
-    | [] -> fail opened "unbalanced '(': no matching ')'"
-    | T_close close :: rest ->
-      let span =
-        { s_start = opened; s_end = { close with col = close.col + 1 } }
-      in
-      (List (List.rev acc, span), rest)
-    | T_open pos :: rest ->
-      let inner, rest = parse_list pos [] rest in
-      parse_list opened (inner :: acc) rest
-    | T_atom (a, span) :: rest ->
-      parse_list opened (Atom (a, span) :: acc) rest
-  in
-  let rec top acc = function
-    | [] -> List.rev acc
-    | T_open pos :: rest ->
-      let inner, rest = parse_list pos [] rest in
-      top (inner :: acc) rest
-    | T_atom (a, span) :: rest -> top (Atom (a, span) :: acc) rest
-    | T_close pos :: _ -> fail pos "unbalanced ')'"
-  in
-  top [] (tokenize text)
+(* The positioned reader moved to [Ape_util.Sexpr] so that other
+   subsystems (calibration cards) can use it without depending on the
+   serve stack.  Re-export it here: existing [Ape_serve.Reader.*]
+   addresses — including the [Error] exception — keep working. *)
+include Ape_util.Sexpr

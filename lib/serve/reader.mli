@@ -1,34 +1,9 @@
 (** Positioned S-expression reader for job files.
 
-    The [Ape_vase.Sexp] reader throws positions away, which is fine for
-    a spec file a human just wrote but useless for a daemon that must
-    answer "job 17 of your 1000-job batch is malformed {e here}".  This
-    reader keeps a line/column span on every atom and list, so the job
-    parser can attach precise locations to error records.
+    The implementation lives in {!Ape_util.Sexpr} (shared with
+    calibration-card parsing); this module re-exports it so the job
+    parser and its callers keep their historical addresses.  Note that
+    [Reader.Error] {e is} [Ape_util.Sexpr.Error] — catching either
+    catches both. *)
 
-    Syntax: atoms are bare tokens or double-quoted strings (with
-    backslash escapes for backslash, double quote, [n] and [t] — needed
-    for netlist file paths); comments run from [;] to end of line. *)
-
-type pos = { line : int; col : int }  (** 1-based *)
-
-type span = { s_start : pos; s_end : pos }
-(** [s_end] is the position one past the last character. *)
-
-type t = Atom of string * span | List of t list * span
-
-exception Error of { pos : pos; msg : string }
-(** Structural failure: unbalanced parenthesis, unterminated string. *)
-
-val parse : string -> t list
-(** Parse a sequence of top-level S-expressions.  Raises {!Error} on
-    structural failure; never on content (any token is a valid atom). *)
-
-val span_of : t -> span
-
-val pp_span : span -> string
-(** ["3:14-3:21"] — or ["3:14"] when the span covers one column. *)
-
-val atom : t -> string
-(** The atom's text; raises {!Error} at the node's position when the
-    node is a list. *)
+include module type of Ape_util.Sexpr

@@ -179,7 +179,7 @@ let run_sim t file out =
   in
   (R.Done, ("file", R.Str file) :: ac)
 
-let run_verify t levels slew =
+let run_verify t levels slew calibration =
   let module C = Ape_check in
   let levels =
     match levels with
@@ -187,7 +187,10 @@ let run_verify t levels slew =
     | names ->
       List.filter_map C.Tolerance.level_of_name names
   in
-  let outcome = C.Check.run ~slew ~levels t.proc in
+  (* Card problems (missing file, parse error) surface as this job's
+     failure record via the catch-list below — the daemon survives. *)
+  let calibration = Option.map Ape_calib.Card.load calibration in
+  let outcome = C.Check.run ~slew ?calibration ~levels t.proc in
   let rows =
     List.fold_left
       (fun acc lr -> acc + List.length lr.C.Check.rows)
@@ -206,7 +209,8 @@ let run t job =
     | Job.Mc { spec; samples; level; sigma_scale; seed = _ } ->
       run_mc t job spec samples level sigma_scale
     | Job.Sim { file; out } -> run_sim t file out
-    | Job.Verify { levels; slew } -> run_verify t levels slew
+    | Job.Verify { levels; slew; calibration } ->
+      run_verify t levels slew calibration
   with
   | E.Opamp.Infeasible msg -> (R.Failed ("infeasible: " ^ msg), [])
   | Ape_spice.Dc.No_convergence msg ->
@@ -224,4 +228,6 @@ let run t job =
     ( R.Failed
         ("netlist parse error: " ^ Ape_circuit.Spice_parser.render_short d),
       [] )
+  | Ape_calib.Card.Parse_error { pos; msg } ->
+    (R.Failed (Ape_calib.Card.describe_error ~pos ~msg), [])
   | Sys_error msg -> (R.Failed msg, [])

@@ -64,3 +64,5 @@ let report t m =
         (match find m req.metric with Some x -> x | None -> Float.nan),
         satisfied req m ))
     t.requirements
+
+let calibrate f m = List.map (fun (k, v) -> (k, f k v)) m

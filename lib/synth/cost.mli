@@ -49,3 +49,7 @@ val all_satisfied : t -> measurement -> bool
 
 val report : t -> measurement -> (string * float * bool) list
 (** Per-requirement (metric, measured-or-nan, satisfied). *)
+
+val calibrate : (string -> float -> float) -> measurement -> measurement
+(** Map every metric value through a correction (e.g. a calibration
+    card's per-attribute fit) before {!evaluate} judges it. *)

@@ -88,7 +88,7 @@ let yield_check ?(sigmas = Ape_mc.Variation.default) process
 
 let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ?chains
     ?(jobs = 1) ?(exchange_period = 1) ?cache ?cache_quantum ?cache_capacity
-    ~rng process ~mode row =
+    ?calibration ~rng process ~mode row =
   Obs.span "synth" @@ fun () ->
   let design =
     Obs.span "seed_design" (fun () ->
@@ -98,8 +98,8 @@ let run ?(schedule = Anneal.default_schedule) ?mc ?mc_sigmas ?chains
   in
   let problem =
     Obs.span "build" (fun () ->
-        Opamp_problem.build ?cache ?cache_quantum ?cache_capacity process
-          ~mode row design)
+        Opamp_problem.build ?cache ?cache_quantum ?cache_capacity ?calibration
+          process ~mode row design)
   in
   (* Time-to-spec: stop once every requirement is met, KCL is satisfied
      and only the small objective pressure remains. *)

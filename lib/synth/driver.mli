@@ -30,6 +30,7 @@ val run :
   ?cache:Est_cache.t ->
   ?cache_quantum:float ->
   ?cache_capacity:int ->
+  ?calibration:Ape_calib.Card.t ->
   rng:Ape_util.Rng.t ->
   Ape_process.Process.t ->
   mode:Opamp_problem.mode ->

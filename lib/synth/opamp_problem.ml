@@ -209,8 +209,8 @@ let size_template (process : Proc.t) ~mode base design =
         (Template.Res_value [ "d1.tail.R1" ]);
     ]
 
-let build ?cache ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t)
-    ~mode row design =
+let build ?cache ?cache_quantum ?(cache_capacity = 8192) ?calibration
+    (process : Proc.t) ~mode row design =
   let vdd = process.Proc.vdd in
   let base = testbench process row design in
   let template = Template.make base (size_template process ~mode base design) in
@@ -243,6 +243,24 @@ let build ?cache ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t)
   let split point =
     (Array.sub point 0 n_sizes, Array.sub point n_sizes n_free)
   in
+  (* In-loop calibration corrects the AWE *estimates* the annealer
+     steers by, narrowing the estimate↔measurement gap the 1.05/1.08
+     margins above paper over.  Only the dynamic attributes are
+     corrected — area is exact by construction, and the final verdict
+     below ([measure_netlist]) always judges the raw measurement. *)
+  let correct =
+    match calibration with
+    | None -> Fun.id
+    | Some card ->
+      let module Card = Ape_calib.Card in
+      let region =
+        Card.region_of ~ugf:row.ugf ~ibias:row.ibias ~cl:row.cl
+      in
+      Cost.calibrate (fun metric v ->
+          match metric with
+          | "gain" | "ugf" -> Card.apply card ~level:"opamp" ~attr:metric ~region v
+          | _ -> v)
+  in
   let evaluate_point point =
     let sizes, nodes = split point in
     let nl = Template.instantiate template sizes in
@@ -270,7 +288,7 @@ let build ?cache ?cache_quantum ?(cache_capacity = 8192) (process : Proc.t)
           | Some u -> ("ugf", u) :: base
           | None -> base)
     in
-    Cost.evaluate cost_model measurement +. (3. *. kcl)
+    Cost.evaluate cost_model (Option.map correct measurement) +. (3. *. kcl)
   in
   let cache =
     (* A caller-owned cache (the serve scheduler's per-problem warm

@@ -66,6 +66,7 @@ val build :
   ?cache:Est_cache.t ->
   ?cache_quantum:float ->
   ?cache_capacity:int ->
+  ?calibration:Ape_calib.Card.t ->
   Ape_process.Process.t ->
   mode:mode ->
   row ->
@@ -78,7 +79,11 @@ val build :
     synthesis of the same spec skips already-evaluated points; when
     given, [cache_quantum]/[cache_capacity] are ignored.  Sharing is
     sound because memoised values are pure functions of the quantized
-    key (see {!Est_cache}). *)
+    key (see {!Est_cache}) — callers sharing a cache must also share
+    the (or no) calibration card, since corrections feed the memoised
+    cost.  [calibration] corrects the in-loop gain/UGF estimates
+    (opamp level, region from the row's spec); the final verdict is
+    always measured raw. *)
 
 val measure_netlist :
   ?out_dc_target:float ->

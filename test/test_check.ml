@@ -120,6 +120,81 @@ let test_golden_drift_detection () =
     (List.length
        (C.Golden.compare_rows ~golden:[ List.hd golden ] (sample_rows ())))
 
+(* ---------- per-attribute golden tolerances ---------- *)
+
+let test_golden_rtol_table () =
+  (* The registry replaces the old hard-coded "cmrr" string match: the
+     table entry must widen the comparison, everything else keeps the
+     caller's rtol, and the wider of the two always wins. *)
+  Alcotest.(check (float 0.)) "cmrr widened" 1e-3
+    (C.Tolerance.golden_rtol ~rtol:1e-6 "cmrr");
+  Alcotest.(check (float 0.)) "unlisted attr untouched" 1e-6
+    (C.Tolerance.golden_rtol ~rtol:1e-6 "gain");
+  Alcotest.(check (float 0.)) "caller rtol can exceed the table" 1e-2
+    (C.Tolerance.golden_rtol ~rtol:1e-2 "cmrr");
+  C.Tolerance.register_golden_rtol ~attr:"test_attr_xyz" 5e-4;
+  Alcotest.(check (float 0.)) "registered attr widened" 5e-4
+    (C.Tolerance.golden_rtol ~rtol:1e-6 "test_attr_xyz");
+  (* End to end: a cmrr estimate drifting 5e-4 is inside the table
+     tolerance; the same drift on gain is flagged. *)
+  let gate = C.Tolerance.Rel 0.5 in
+  let mk attr est = row ~case:"A" ~attr ~gate (Some est) (Some 100.) in
+  let golden_rows attr = [ mk attr 100. ] in
+  let dir = tmp_dir () in
+  List.iter
+    (fun (attr, expected_drifts) ->
+      C.Golden.save ~dir C.Tolerance.Basic (golden_rows attr);
+      let golden = Option.get (C.Golden.load ~dir C.Tolerance.Basic) in
+      let fresh = [ mk attr (100. *. (1. +. 5e-4)) ] in
+      Alcotest.(check int)
+        (attr ^ " drift count")
+        expected_drifts
+        (List.length (C.Golden.compare_rows ~golden fresh)))
+    [ ("cmrr", 0); ("gain", 1) ]
+
+(* ---------- frozen calibrated-vs-raw error table ---------- *)
+
+let test_calibrated_errors_frozen () =
+  (* Fit a card from the catalog itself, re-run the checker through it,
+     and hold the per-(level, attribute) error table against the frozen
+     test/golden/calib_errors.tsv — promotable with APE_UPDATE_GOLDEN=1
+     (or ape verify --update), like the value tables.  Hardening makes
+     "calibrated never worse than raw" structural; gate it anyway. *)
+  let card = C.Calibrate.fit ~slew:false proc in
+  let outcome = C.Check.run ~slew:false ~calibration:card proc in
+  let errors = C.Check.error_table outcome in
+  Alcotest.(check bool) "has error rows" true (List.length errors >= 10);
+  List.iter
+    (fun (e : C.Golden.error_entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s calibrated %.4f <= raw %.4f" e.C.Golden.e_level
+           e.C.Golden.e_attr e.C.Golden.cal_max e.C.Golden.raw_max)
+        true
+        (e.C.Golden.cal_max <= e.C.Golden.raw_max +. 1e-12))
+    errors;
+  let dir = "golden" in
+  if C.Golden.update_requested () then begin
+    C.Golden.save_errors ~dir errors;
+    Printf.printf "promoted %s\n" (C.Golden.errors_path ~dir)
+  end
+  else
+    match C.Golden.load_errors ~dir with
+    | None ->
+      Alcotest.fail
+        "golden/calib_errors.tsv missing — promote it with \
+         APE_UPDATE_GOLDEN=1"
+    | Some golden ->
+      (* Error values are ratios of nearly-cancelling est/sim pairs, so
+         the cross-engine comparison needs the wider rtol on top of the
+         absolute floor. *)
+      let drifts = C.Golden.compare_errors ~rtol:1e-2 ~golden errors in
+      List.iter
+        (fun (d : C.Golden.drift) ->
+          Printf.printf "error drift %s/%s: %s\n" d.C.Golden.case
+            d.C.Golden.attr d.C.Golden.what)
+        drifts;
+      Alcotest.(check int) "no error drift" 0 (List.length drifts)
+
 (* ---------- metamorphic properties ---------- *)
 
 let prop_gm_monotone_in_wl =
@@ -273,6 +348,13 @@ let () =
             test_golden_save_load;
           Alcotest.test_case "drift detection" `Quick
             test_golden_drift_detection;
+          Alcotest.test_case "per-attribute rtol table" `Quick
+            test_golden_rtol_table;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "calibrated-vs-raw table frozen" `Quick
+            test_calibrated_errors_frozen;
         ] );
       qsuite "metamorphic"
         [ prop_gm_monotone_in_wl; prop_gm_monotone_in_ids; prop_corner_bracketing ];

@@ -182,7 +182,8 @@ let gen_job =
                 ]
             in
             let* slew = bool in
-            return (Job.Verify { levels; slew }) );
+            let* calibration = opt gen_id in
+            return (Job.Verify { levels; slew; calibration }) );
         ]
     in
     return { Job.id; timeout; payload })
@@ -295,6 +296,39 @@ let test_continue_on_error_default () =
     [ "failed"; "ok"; "ok" ]
     (statuses records);
   Alcotest.(check int) "summary.failed" 1 summary.Record.failed
+
+let test_missing_calibration_card () =
+  (* A verify job naming a card that doesn't exist fails as that job's
+     own record — the daemon survives and later jobs still run. *)
+  let text =
+    "(job verify (id v) (levels device) (no-slew) \
+     (calibration /nonexistent/card.calib))\n" ^ cheap_jobs 2
+  in
+  let records, summary = run_collect text in
+  Alcotest.(check (list string))
+    "card failure is per-job"
+    [ "failed"; "ok"; "ok" ]
+    (statuses records);
+  Alcotest.(check int) "summary.failed" 1 summary.Record.failed;
+  match records with
+  | (r : Record.t) :: _ -> (
+    match r.Record.status with
+    | Record.Failed msg ->
+      (* Sys_error text names the path — a clean message, not an
+         exception dump. *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S names the card" msg)
+        true
+        (contains msg "/nonexistent/card.calib")
+    | _ -> Alcotest.fail "first record did not fail")
+  | [] -> Alcotest.fail "no records"
 
 let test_timeout_zero () =
   let records, summary =
@@ -496,6 +530,8 @@ let () =
             test_fail_fast_engine_failure;
           Alcotest.test_case "continue on error" `Quick
             test_continue_on_error_default;
+          Alcotest.test_case "missing calibration card" `Quick
+            test_missing_calibration_card;
           Alcotest.test_case "timeout" `Quick test_timeout_zero;
           Alcotest.test_case "ordered emission" `Quick test_ordered_emission;
           Alcotest.test_case "deterministic across jobs" `Slow
