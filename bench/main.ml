@@ -747,9 +747,40 @@ let run_mc () =
 (* ------------------------------------------------------------------ *)
 (* Prepared-solve AC engine: solves/sec with per-call restamping vs    *)
 (* the stamp-once prepared path, plus the synthesis-loop view (shared  *)
-(* preparation across measurements, estimation-cache hit rate).        *)
+(* preparation across measurements, estimation-cache hit rate), the    *)
+(* blocked frequency-panel engine vs the per-frequency sparse path,    *)
+(* and the adjoint-vs-direct noise solve counts.                       *)
 (* Emits BENCH_sweep.json for the CI record.                           *)
 (* ------------------------------------------------------------------ *)
+
+(* The RC ladder the sparse gates run on (shared with run_sparse). *)
+let ladder_deck n =
+  let open Ape_circuit.Netlist in
+  let node i = Printf.sprintf "n%d" i in
+  let sections =
+    List.concat
+      (List.init n (fun i ->
+           [
+             Resistor
+               {
+                 name = Printf.sprintf "r%d" i;
+                 a = node i;
+                 b = node (i + 1);
+                 r = 1e3;
+               };
+             Capacitor
+               {
+                 name = Printf.sprintf "c%d" i;
+                 a = node (i + 1);
+                 b = ground;
+                 c = 1e-9;
+               };
+           ]))
+  in
+  make
+    ~title:(Printf.sprintf "rc ladder, %d sections" n)
+    (Vsource { name = "vin"; p = node 0; n = ground; dc = 1.0; ac = 1.0 }
+    :: sections)
 
 let sweep_testbench () =
   let row = List.nth (opamp_rows ()) 2 in
@@ -882,6 +913,158 @@ let run_sweep () =
   pf "  lookups %d, hits %d, hit rate %.1f %%\n" lookups hits
     (100. *. hit_rate);
 
+  (* Blocked frequency panels vs the per-frequency sparse path, on the
+     same 200-section ladder and grid the sparse bench gates on.  The
+     preparation dispatches on the backend it was built under, so one
+     sparse prepare serves every width. *)
+  let module Backend = Ape_spice.Backend in
+  let k0 = Ac.panel_width () in
+  let gate_n = if fast_mode then 120 else 200 in
+  let ladder_grid =
+    Ac.sweep_frequencies ~points_per_decade:10 ~fstart:1e2 ~fstop:1e8 ()
+  in
+  let ladder_pts = List.length ladder_grid in
+  let panel_passes = if fast_mode then 20 else 40 in
+  let ladder_prep =
+    Backend.use Backend.Sparse (fun () ->
+        Ac.prepare (Ape_spice.Dc.solve (ladder_deck gate_n)))
+  in
+  let rate_at_width width =
+    Ac.set_panel_width width;
+    ignore (Ac.sweep_prepared ladder_prep ladder_grid);
+    let t =
+      time (fun () ->
+          for _ = 1 to panel_passes do
+            ignore (Ac.sweep_prepared ladder_prep ladder_grid)
+          done)
+    in
+    float_of_int (panel_passes * ladder_pts) /. Float.max 1e-9 t
+  in
+  let scalar_rate = rate_at_width 1 in
+  let width_curve =
+    List.map (fun w -> (w, rate_at_width w)) [ 2; 4; 8; 16; 32 ]
+  in
+  let blocked_rate = List.assoc 8 width_curve in
+  let blocked_speedup = blocked_rate /. Float.max 1e-9 scalar_rate in
+  pf "\nblocked frequency panels (%d-section ladder, %d-point grid):\n"
+    gate_n ladder_pts;
+  print_string
+    (Table.render
+       ~header:[ "panel width"; "solves/s"; "vs scalar" ]
+       (List.map
+          (fun (w, r) ->
+            [
+              string_of_int w; eng r;
+              Printf.sprintf "%.2fx" (r /. Float.max 1e-9 scalar_rate);
+            ])
+          ((1, scalar_rate) :: width_curve)));
+  (* Panel-vs-scalar bit identity over the whole sweep. *)
+  let points_at width =
+    Ac.set_panel_width width;
+    (Ac.sweep_prepared ladder_prep ladder_grid).Ac.points
+  in
+  let bit_identical =
+    List.for_all2
+      (fun (a : Ac.solution) (b : Ac.solution) ->
+        a.Ac.freq = b.Ac.freq
+        && Array.for_all2
+             (fun (x : Complex.t) (y : Complex.t) ->
+               x.Complex.re = y.Complex.re && x.Complex.im = y.Complex.im)
+             a.Ac.x b.Ac.x)
+      (points_at 1) (points_at 8)
+  in
+  pf "panel vs per-frequency bit-identical: %b\n" bit_identical;
+  (* The path this PR replaces — a fresh workspace clone per frequency
+     (the old parallel sweep branch) — as a second baseline. *)
+  let per_freq_rate =
+    List.iter (fun f -> ignore (Ac.solve_fresh ladder_prep f)) ladder_grid;
+    let t =
+      time (fun () ->
+          for _ = 1 to panel_passes do
+            List.iter
+              (fun f -> ignore (Ac.solve_fresh ladder_prep f))
+              ladder_grid
+          done)
+    in
+    float_of_int (panel_passes * ladder_pts) /. Float.max 1e-9 t
+  in
+  pf "fresh-workspace-per-point path: %s solves/s (blocked is %.2fx)\n"
+    (eng per_freq_rate) (blocked_rate /. Float.max 1e-9 per_freq_rate);
+  (* Workspace churn: the old path cloned per frequency; the blocked
+     sweep reuses the preparation's cached workspace (zero clones after
+     warm-up) or, parallel, at most one clone per worker domain.
+     Counters are deterministic where Gc.allocated_bytes — per-domain
+     and blind to Bigarray payloads — is not. *)
+  Ac.set_panel_width 8;
+  ignore (Ac.sweep_prepared ladder_prep ladder_grid);
+  let obs_was = Ape_obs.enabled () in
+  Ape_obs.enable ();
+  let count_workspaces f =
+    Ape_obs.reset ();
+    f ();
+    Option.value ~default:0
+      (List.assoc_opt "ac.workspaces" (Ape_obs.snapshot ()).Ape_obs.counters)
+  in
+  let fresh_workspaces =
+    count_workspaces (fun () ->
+        List.iter (fun f -> ignore (Ac.solve_fresh ladder_prep f)) ladder_grid)
+  in
+  let blocked_workspaces =
+    count_workspaces (fun () ->
+        ignore (Ac.sweep_prepared ladder_prep ladder_grid))
+  in
+  if not obs_was then Ape_obs.disable ();
+  assert (blocked_workspaces < fresh_workspaces);
+  (* On-heap allocation per point, minimum over passes (a GC slice or
+     domain-counter fold can inflate one pass, never deflate it). *)
+  let alloc_min f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let a0 = Gc.allocated_bytes () in
+      f ();
+      let a = Gc.allocated_bytes () -. a0 in
+      if a < !best then best := a
+    done;
+    !best
+  in
+  let fresh_alloc =
+    alloc_min (fun () ->
+        List.iter (fun f -> ignore (Ac.solve_fresh ladder_prep f)) ladder_grid)
+  in
+  let blocked_alloc =
+    alloc_min (fun () -> ignore (Ac.sweep_prepared ladder_prep ladder_grid))
+  in
+  let per_pt b = b /. float_of_int (max 1 ladder_pts) in
+  pf
+    "workspace clones per %d-point sweep: fresh-per-point %d, blocked %d\n"
+    ladder_pts fresh_workspaces blocked_workspaces;
+  pf "allocation per point: fresh-workspace %.0f B, blocked %.0f B (%.1fx less)\n"
+    (per_pt fresh_alloc) (per_pt blocked_alloc)
+    (fresh_alloc /. Float.max 1. blocked_alloc);
+  Ac.set_panel_width k0;
+
+  (* Adjoint noise: one transposed solve per frequency for all sources
+     vs the historical one-solve-per-source path, counter-verified. *)
+  let noise_sources =
+    List.length (Ape_spice.Noise.noise_sources op 1e3)
+  in
+  let obs_was = Ape_obs.enabled () in
+  Ape_obs.enable ();
+  Ape_obs.reset ();
+  let nprep = Ac.prepare op in
+  ignore
+    (Ape_spice.Noise.output_noise_direct_prepared ~out:"out" ~freq:1e3 nprep);
+  ignore (Ape_spice.Noise.output_noise_prepared ~out:"out" ~freq:1e3 nprep);
+  let snap = Ape_obs.snapshot () in
+  let cval name =
+    Option.value ~default:0 (List.assoc_opt name snap.Ape_obs.counters)
+  in
+  let direct_solves = cval "noise.direct_solves" in
+  let adjoint_solves = cval "noise.adjoint_solves" in
+  if not obs_was then Ape_obs.disable ();
+  pf "\nnoise at one frequency (%d sources): direct %d solves, adjoint %d\n"
+    noise_sources direct_solves adjoint_solves;
+
   let oc = open_out "BENCH_sweep.json" in
   Printf.fprintf oc
     "{\n\
@@ -895,10 +1078,33 @@ let run_sweep () =
     \  \"measure_shared_prep_sec\": %.4f,\n\
     \  \"anneal_cache_lookups\": %d,\n\
     \  \"anneal_cache_hits\": %d,\n\
-    \  \"anneal_cache_hit_rate\": %.4f\n\
+    \  \"anneal_cache_hit_rate\": %.4f,\n\
+    \  \"panel_sections\": %d,\n\
+    \  \"panel_grid_points\": %d,\n\
+    \  \"panel_scalar_solves_per_sec\": %.1f,\n\
+    \  \"panel_width_curve\": [%s],\n\
+    \  \"panel_blocked_solves_per_sec\": %.1f,\n\
+    \  \"panel_per_freq_solves_per_sec\": %.1f,\n\
+    \  \"blocked_speedup\": %.2f,\n\
+    \  \"panel_bit_identical\": %b,\n\
+    \  \"fresh_workspaces_per_sweep\": %d,\n\
+    \  \"blocked_workspaces_per_sweep\": %d,\n\
+    \  \"fresh_alloc_bytes_per_point\": %.0f,\n\
+    \  \"blocked_alloc_bytes_per_point\": %.0f,\n\
+    \  \"noise_sources\": %d,\n\
+    \  \"noise_direct_solves\": %d,\n\
+    \  \"noise_adjoint_solves\": %d\n\
      }\n"
     n_grid repeats (rate t_restamp) (rate t_prepared) speedup sets t_per_call
-    t_shared lookups hits hit_rate;
+    t_shared lookups hits hit_rate gate_n ladder_pts scalar_rate
+    (String.concat ", "
+       (List.map
+          (fun (w, r) ->
+            Printf.sprintf "{\"width\": %d, \"solves_per_sec\": %.1f}" w r)
+          ((1, scalar_rate) :: width_curve)))
+    blocked_rate per_freq_rate blocked_speedup bit_identical fresh_workspaces
+    blocked_workspaces (per_pt fresh_alloc) (per_pt blocked_alloc)
+    noise_sources direct_solves adjoint_solves;
   close_out oc;
   pf "\nwrote BENCH_sweep.json\n"
 
@@ -1277,34 +1483,6 @@ let run_calib () =
 (* speedup at the largest size at >= 3x and the cross-engine solution  *)
 (* disagreement at <= 1e-8.  Emits BENCH_sparse.json.                  *)
 (* ------------------------------------------------------------------ *)
-
-let ladder_deck n =
-  let open Ape_circuit.Netlist in
-  let node i = Printf.sprintf "n%d" i in
-  let sections =
-    List.concat
-      (List.init n (fun i ->
-           [
-             Resistor
-               {
-                 name = Printf.sprintf "r%d" i;
-                 a = node i;
-                 b = node (i + 1);
-                 r = 1e3;
-               };
-             Capacitor
-               {
-                 name = Printf.sprintf "c%d" i;
-                 a = node (i + 1);
-                 b = ground;
-                 c = 1e-9;
-               };
-           ]))
-  in
-  make
-    ~title:(Printf.sprintf "rc ladder, %d sections" n)
-    (Vsource { name = "vin"; p = node 0; n = ground; dc = 1.0; ac = 1.0 }
-    :: sections)
 
 let run_sparse () =
   heading "Sparse MNA engine: dense LU vs symbolic-once/numeric-many";

@@ -568,9 +568,16 @@ let sim_cmd =
             if det then pf "  UGF    = %.4g Hz\n" f
             else pf "  UGF    = %sHz\n" (eng f)
           | None -> ());
-          match M.phase_margin ~out:node prep with
+          (match M.phase_margin ~out:node prep with
           | Some pm -> pf "  PM     = %.1f deg\n" pm
           | None -> ());
+          (* One adjoint solve covers every noise source (reciprocity);
+             %.4g keeps the dense/sparse --deterministic diff byte-clean. *)
+          match
+            Ape_spice.Noise.input_referred_prepared ~out:node ~freq:1e3 prep
+          with
+          | v -> pf "  in-noise = %.4g V/rtHz @ 1kHz\n" v
+          | exception Division_by_zero -> ());
         0)
   in
   Cmd.v

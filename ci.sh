@@ -116,6 +116,37 @@ awk -F': *|,' '/"speedup"/ && !/"curve"/ { speedup = $2 }
   }' BENCH_sparse.json
 echo "archived BENCH_sparse.json"
 
+echo "== blocked sweep bench (>= 2x vs per-frequency at 200 sections) =="
+dune exec bench/main.exe -- sweep
+awk -F': *|,' '/"blocked_speedup"/ { sp = $2 }
+  /"panel_bit_identical"/ { bit = $2 }
+  /"fresh_workspaces_per_sweep"/ { fresh = $2 }
+  /"blocked_workspaces_per_sweep"/ { blocked = $2 }
+  /"noise_direct_solves"/ { direct = $2 }
+  /"noise_adjoint_solves"/ { adj = $2 }
+  END {
+    if (bit != "true") { print "FAIL: panel results not bit-identical"; exit 1 }
+    if (sp + 0. < 2.0) { printf "FAIL: blocked speedup %.2fx < 2x\n", sp; exit 1 }
+    if (adj + 0 != 1) { printf "FAIL: %d adjoint solves at one frequency (want 1)\n", adj; exit 1 }
+    if (direct + 0 < 2) { printf "FAIL: direct reference made only %d solves\n", direct; exit 1 }
+    if (blocked + 0 >= fresh + 0) {
+      printf "FAIL: blocked sweep cloned %d workspaces (fresh path: %d)\n", blocked, fresh; exit 1 }
+    printf "blocked %.2fx >= 2x, adjoint solves %d, workspaces %d -> %d OK\n", sp, adj, fresh, blocked
+  }' BENCH_sweep.json
+echo "archived BENCH_sweep.json"
+
+echo "== panel solver bit-identity (panel-vs-scalar, unstable lanes, adjoint) =="
+dune exec test/test_sparse.exe -- test panel
+dune exec test/test_sparse.exe -- test golden-decks
+
+echo "== panel width differential (ape sim --deterministic, width 1 vs default) =="
+APE_PANEL_WIDTH=1 dune exec bin/ape.exe -- sim examples/jobs/rc.sp --out out \
+  --deterministic --engine sparse > /tmp/ape_sim_w1.txt
+dune exec bin/ape.exe -- sim examples/jobs/rc.sp --out out \
+  --deterministic --engine sparse > /tmp/ape_sim_wk.txt
+diff /tmp/ape_sim_w1.txt /tmp/ape_sim_wk.txt
+rm -f /tmp/ape_sim_w1.txt /tmp/ape_sim_wk.txt
+
 echo "== ape convert round-trip (fixpoint over the golden corpus) =="
 # convert(a) -> b, convert(b) -> c: b and c must be byte-identical, and a
 # clean deck must produce zero diagnostics on stderr.

@@ -175,6 +175,15 @@ let run_sim t file out =
         ("f_minus_3db", R.float_opt (M.f_minus_3db ~out:node prep));
         ("ugf", R.float_opt (M.unity_gain_frequency ~out:node prep));
         ("phase_margin", R.float_opt (M.phase_margin ~out:node prep));
+        (* Adjoint noise rides on the same preparation; a gain of zero
+           (no AC excitation reaching [node]) reports null. *)
+        ( "in_noise",
+          R.float_opt
+            (match
+               Ape_spice.Noise.input_referred_prepared ~out:node ~freq:1e3 prep
+             with
+            | v -> Some v
+            | exception Division_by_zero -> None) );
       ]
   in
   (R.Done, ("file", R.Str file) :: ac)

@@ -9,6 +9,30 @@ let c_prepare = Ape_obs.counter "ac.prepare"
 let c_solve_at = Ape_obs.counter "ac.solve_at"
 let c_solve_prepared = Ape_obs.counter "ac.solve_prepared"
 let c_sweep_points = Ape_obs.counter "ac.sweep_points"
+let c_panels = Ape_obs.counter "ac.panels"
+let c_workspaces = Ape_obs.counter "ac.workspaces"
+
+(* Width of the frequency panels blocked sweeps solve at once under the
+   sparse backend (width 1 selects the scalar per-frequency path; the
+   dense backend always solves per frequency).  Results are bit-identical
+   for every width — the panel kernel keeps lane arithmetic independent —
+   so this is purely a throughput knob. *)
+let default_panel_width = 8
+
+let panel_width_state =
+  ref
+    (match Sys.getenv_opt "APE_PANEL_WIDTH" with
+    | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | Some _ | None -> default_panel_width)
+    | None -> default_panel_width)
+
+let panel_width () = !panel_width_state
+
+let set_panel_width k =
+  if k < 1 then invalid_arg "Ac.set_panel_width";
+  panel_width_state := k
 
 let complex re im = { Complex.re; im }
 
@@ -83,11 +107,28 @@ type sparse_prep = {
 
 type impl = Dense_prep of dense_prep | Sparse_prep of sparse_prep
 
+(* One domain's worth of blocked-sweep scratch: everything a panel (or a
+   scalar fallback lane) mutates, cloned off the read-only stamps so
+   several domains can work one preparation concurrently.  Contents are
+   fully overwritten before every use, so which workspace serves which
+   panel can never show up in the results. *)
+type workspace =
+  | Dense_ws of { w_work : Ape_util.Matrix.Csplit.t; w_perm : int array }
+  | Sparse_ws of {
+      w_vals : Sp.Csplit.t;  (** scalar assembly, for fallback lanes *)
+      w_fac : Sp.Csplit.factor;  (** private numeric clone *)
+      w_panel : Sp.Csplit.Panel.vals;
+      w_pfac : Sp.Csplit.Panel.pfactor;
+    }
+
 type prepared = {
   p_op : Dc.op;
   size : int;
   rhs : Complex.t array;  (** AC excitation pattern, read-only *)
   impl : impl;
+  mutable p_ws : (int * workspace) option;
+      (** cached (panel width, workspace) for single-domain blocked
+          solves; lazily (re)built when the width changes *)
 }
 
 let prepare (op : Dc.op) =
@@ -127,7 +168,7 @@ let prepare (op : Dc.op) =
       let sp_fac = Sp.Csplit.factor sp_vals in
       Sparse_prep { sp_g; sp_c; sp_vals; sp_fac }
   in
-  { p_op = op; size = n; rhs = stamp_rhs op; impl }
+  { p_op = op; size = n; rhs = stamp_rhs op; impl; p_ws = None }
 
 let op p = p.p_op
 
@@ -211,6 +252,7 @@ let solve_prepared p freq =
    bit-identical points. *)
 let solve_fresh p freq =
   Ape_obs.incr c_solve_prepared;
+  Ape_obs.incr c_workspaces;
   match p.impl with
   | Dense_prep d ->
     dense_solve_in p d
@@ -220,6 +262,123 @@ let solve_fresh p freq =
     sparse_solve p s
       ~vals:(Sp.Csplit.create (Sp.Real.pattern s.sp_g))
       ~fac:(Sp.Csplit.clone s.sp_fac) freq
+
+(* ------------------------- blocked path --------------------------- *)
+
+let create_workspace p ~k =
+  Ape_obs.incr c_workspaces;
+  match p.impl with
+  | Dense_prep _ ->
+    Dense_ws
+      { w_work = Ape_util.Matrix.Csplit.create p.size;
+        w_perm = Array.make p.size 0 }
+  | Sparse_prep s ->
+    let pat = Sp.Real.pattern s.sp_g in
+    Sparse_ws
+      { w_vals = Sp.Csplit.create pat;
+        w_fac = Sp.Csplit.clone s.sp_fac;
+        w_panel = Sp.Csplit.Panel.create pat ~k;
+        w_pfac = Sp.Csplit.Panel.prepare s.sp_fac ~k }
+
+(* The cached single-domain workspace (not safe to share across domains;
+   parallel sweeps draw from a per-call pool instead). *)
+let cached_workspace p ~k =
+  match p.p_ws with
+  | Some (k', ws) when k' = k -> ws
+  | Some _ | None ->
+    let ws = create_workspace p ~k in
+    p.p_ws <- Some (k, ws);
+    ws
+
+(* Solve [freqs.(lo .. lo+len-1)] into the same indices of [dst] using
+   one workspace.  Sparse panels of the workspace's width; a lane whose
+   frozen pivots go bad is re-solved through the exact scalar
+   refactor-or-refactor-fresh path, so every point is bit-identical to
+   [solve_prepared] whatever the panel width. *)
+let solve_block p ws freqs lo len (dst : solution array) =
+  match (p.impl, ws) with
+  | Dense_prep d, Dense_ws w ->
+    for i = lo to lo + len - 1 do
+      Ape_obs.incr c_solve_prepared;
+      dst.(i) <- dense_solve_in p d ~work:w.w_work ~perm:w.w_perm freqs.(i)
+    done
+  | Sparse_prep s, Sparse_ws w ->
+    let k = Sp.Csplit.Panel.width w.w_panel in
+    let pos = ref lo in
+    while !pos < lo + len do
+      let m = min k (lo + len - !pos) in
+      if m = 1 then begin
+        Ape_obs.incr c_solve_prepared;
+        dst.(!pos) <- sparse_solve p s ~vals:w.w_vals ~fac:w.w_fac freqs.(!pos)
+      end
+      else begin
+        Ape_obs.incr c_panels;
+        Ape_obs.add c_solve_prepared m;
+        let omegas =
+          Array.init m (fun kk -> 2. *. Float.pi *. freqs.(!pos + kk))
+        in
+        Sp.Csplit.Panel.assemble_gc w.w_panel ~g:s.sp_g ~c:s.sp_c ~omegas;
+        Sp.Csplit.Panel.refactor w.w_pfac w.w_panel;
+        let xs = Sp.Csplit.Panel.solve w.w_pfac p.rhs in
+        for kk = 0 to m - 1 do
+          let i = !pos + kk in
+          if Sp.Csplit.Panel.ok w.w_pfac kk then
+            dst.(i) <- { freq = freqs.(i); x = xs.(kk) }
+          else
+            dst.(i) <- sparse_solve p s ~vals:w.w_vals ~fac:w.w_fac freqs.(i)
+        done
+      end;
+      pos := !pos + m
+    done
+  | Dense_prep _, Sparse_ws _ | Sparse_prep _, Dense_ws _ -> assert false
+
+let dummy_solution = { freq = 0.; x = [||] }
+
+let solve_many p (freqs : float array) =
+  let n = Array.length freqs in
+  let dst = Array.make n dummy_solution in
+  if n > 0 then solve_block p (cached_workspace p ~k:(panel_width ())) freqs 0 n dst;
+  dst
+
+(* ------------------------- factored systems ----------------------- *)
+
+(* A factored G + jωC at one frequency, for analyses that solve many
+   right-hand sides (and their adjoints) themselves — e.g. noise.
+   Backend-aware, unlike the dense-only {!matrix_at}. *)
+type system =
+  | Dense_sys of { sy_work : Ape_util.Matrix.Csplit.t; sy_perm : int array }
+  | Sparse_sys of { sy_fac : Sp.Csplit.factor }
+
+let system_at p freq =
+  match p.impl with
+  | Dense_prep d ->
+    let work = Ape_util.Matrix.Csplit.create p.size in
+    let perm = Array.make p.size 0 in
+    assemble_split d ~n:p.size (2. *. Float.pi *. freq) work;
+    Ape_util.Matrix.Csplit.factor_in_place work perm;
+    Dense_sys { sy_work = work; sy_perm = perm }
+  | Sparse_prep s ->
+    let omega = 2. *. Float.pi *. freq in
+    let vals = Sp.Csplit.create (Sp.Real.pattern s.sp_g) in
+    Sp.Csplit.assemble_gc vals ~g:s.sp_g ~c:s.sp_c ~omega;
+    let fac = Sp.Csplit.clone s.sp_fac in
+    let fac =
+      match Sp.Csplit.refactor fac vals with
+      | () -> fac
+      | exception Sp.Unstable -> Sp.Csplit.factor vals
+    in
+    Sparse_sys { sy_fac = fac }
+
+let system_solve sys b =
+  match sys with
+  | Dense_sys { sy_work; sy_perm } -> Ape_util.Matrix.Csplit.solve sy_work sy_perm b
+  | Sparse_sys { sy_fac } -> Sp.Csplit.solve sy_fac b
+
+let system_solve_transposed sys b =
+  match sys with
+  | Dense_sys { sy_work; sy_perm } ->
+    Ape_util.Matrix.Csplit.solve_transposed sy_work sy_perm b
+  | Sparse_sys { sy_fac } -> Sp.Csplit.solve_transposed sy_fac b
 
 let voltage (op : Dc.op) solution node =
   match Engine.node_id op.Dc.index node with
@@ -244,13 +403,48 @@ let sweep_prepared ?(jobs = 1) p freqs =
   let freqs = Array.of_list freqs in
   let n = Array.length freqs in
   Ape_obs.add c_sweep_points n;
+  let k = panel_width () in
   let points =
-    if jobs <= 1 then Array.map (solve_prepared p) freqs
-    else
-      (* Workspaces must not be shared across domains; [solve_fresh]
-         reads only the immutable stamps, so every jobs value produces
-         the same (bit-identical) points. *)
-      Ape_util.Pool.map ~jobs n (fun i -> solve_fresh p freqs.(i))
+    if jobs <= 1 || n <= k then begin
+      let dst = Array.make n dummy_solution in
+      if n > 0 then solve_block p (cached_workspace p ~k) freqs 0 n dst;
+      dst
+    end
+    else begin
+      (* Panels are k-aligned index ranges of the grid — fixed by (n, k)
+         alone, never by the worker count — and workspace contents are
+         fully overwritten per panel, so every [jobs] value produces the
+         same bit-identical points.  Workspaces are pooled per call: one
+         clone per domain that actually runs, not one per point. *)
+      let npanels = (n + k - 1) / k in
+      let dst = Array.make n dummy_solution in
+      let lock = Mutex.create () in
+      let free = ref [] in
+      let with_ws f =
+        Mutex.lock lock;
+        let ws =
+          match !free with
+          | [] -> None
+          | w :: tl ->
+            free := tl;
+            Some w
+        in
+        Mutex.unlock lock;
+        let ws = match ws with Some w -> w | None -> create_workspace p ~k in
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock lock;
+            free := ws :: !free;
+            Mutex.unlock lock)
+          (fun () -> f ws)
+      in
+      ignore
+        (Ape_util.Pool.map ~jobs npanels (fun pi ->
+             let lo = pi * k in
+             let len = min k (n - lo) in
+             with_ws (fun ws -> solve_block p ws freqs lo len dst)));
+      dst
+    end
   in
   { op = p.p_op; points = Array.to_list points }
 

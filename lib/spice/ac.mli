@@ -58,6 +58,47 @@ val solve_fresh : prepared -> float -> solution
     the read-only stamps — safe to call concurrently on a shared
     [prepared] from multiple domains. *)
 
+val panel_width : unit -> int
+(** Width of the frequency panels blocked solves use under the sparse
+    backend (how many frequencies one traversal of the symbolic
+    structure refactors and solves).  Defaults to 8, overridable with
+    the [APE_PANEL_WIDTH] environment variable; width 1 selects the
+    scalar per-frequency path.  Purely a throughput knob — results are
+    bit-identical for every width. *)
+
+val set_panel_width : int -> unit
+(** Override {!panel_width} for this process ([k >= 1]). *)
+
+val solve_many : prepared -> float array -> solution array
+(** Blocked multi-frequency solve on the preparation's cached
+    single-domain workspace: under the sparse backend the grid is cut
+    into {!panel_width} panels, each refactored and solved by one
+    symbolic traversal ([Sparse.Csplit.Panel]); under the dense backend
+    it loops {!solve_prepared}.  Every point is bit-identical to
+    [solve_prepared p f].  Not safe to call concurrently on one
+    [prepared] (use {!sweep_prepared}[ ~jobs]). *)
+
+(** {2 Factored systems} *)
+
+type system
+(** A factored [G + jωC] at one frequency, for analyses that solve many
+    right-hand sides — and their adjoints — themselves (e.g. noise).
+    Backend-aware: dense split-complex LU or sparse numeric
+    refactorisation depending on {!Backend.current}. *)
+
+val system_at : prepared -> float -> system
+(** Assemble and factor the AC system at one frequency, with private
+    workspaces (safe to use from any domain). *)
+
+val system_solve : system -> Complex.t array -> Complex.t array
+(** Solve [A x = b].  Under the dense backend, bit-identical to
+    factoring {!matrix_at} with [Cmat.lu_factor] and solving. *)
+
+val system_solve_transposed : system -> Complex.t array -> Complex.t array
+(** Solve [Aᵀ y = b] with the same factorisation — one adjoint solve
+    against an output selector yields the transfer impedance from every
+    injection site at once (reciprocity). *)
+
 val matrix_at : prepared -> float -> Ape_util.Matrix.Cmat.t
 (** Freshly allocated [G + jωC] at one frequency, for analyses that
     factor the system themselves and solve many right-hand sides
@@ -78,10 +119,13 @@ val sweep_frequencies :
     default 10 points/decade). *)
 
 val sweep_prepared : ?jobs:int -> prepared -> float list -> sweep
-(** Solve an explicit frequency list on one preparation.  [jobs > 1]
-    distributes frequencies over that many domains with the
-    deterministic chunking of {!Ape_util.Pool} (0 = hardware
-    recommendation); results are identical for every [jobs] value. *)
+(** Solve an explicit frequency list on one preparation, in
+    {!panel_width} blocks.  [jobs > 1] distributes whole panels over
+    that many domains with the deterministic chunking of
+    {!Ape_util.Pool} (0 = hardware recommendation), drawing from a pool
+    of per-domain cloned workspaces — one clone per domain that runs,
+    not one per point.  Panel boundaries depend only on the grid and
+    the width, so results are bit-identical for every [jobs] value. *)
 
 val sweep :
   ?jobs:int ->

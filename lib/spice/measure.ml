@@ -21,29 +21,56 @@ module Prepared = struct
     let v = solution ~out p 0. in
     if v.Complex.re < 0. then -.Complex.norm v else Complex.norm v
 
+  (* Gains of a frequency grid, evaluated lazily in panel-width blocks:
+     the scan below usually brackets its crossing early, so whole-grid
+     evaluation would waste solves, but per-point evaluation would waste
+     the blocked sparse kernel.  Values are bit-identical to per-point
+     [gain_at] — [Ac.solve_many] guarantees it. *)
+  let blocked_gains ~out p (grid : float array) =
+    let npts = Array.length grid in
+    let k = max 1 (Ac.panel_width ()) in
+    let gains = Array.make npts Float.nan in
+    let have = ref 0 in
+    fun i ->
+      while !have <= i do
+        let lo = !have in
+        let m = min k (npts - lo) in
+        let sols = Ac.solve_many p (Array.sub grid lo m) in
+        Array.iteri
+          (fun kk s ->
+            gains.(lo + kk) <- Complex.norm (Ac.voltage_prepared p s out))
+          sols;
+        have := lo + m
+      done;
+      gains.(i)
+
   (* Find the lowest crossing of |H(f)| = level by scanning a log grid
      for a bracket and refining with Brent in log-frequency. *)
   let find_crossing ~fmin ~fmax ~level ~out p =
-    let g f = gain_at ~out p f -. level in
     let n = max 8 (int_of_float (8. *. Float.log10 (fmax /. fmin))) in
-    let grid = Ape_util.Float_ext.logspace fmin fmax n in
-    let rec scan = function
-      | a :: (b :: _ as rest) ->
-        let ga = g a and gb = g b in
-        if ga = 0. then Some a
+    let grid = Array.of_list (Ape_util.Float_ext.logspace fmin fmax n) in
+    let npts = Array.length grid in
+    let gain = blocked_gains ~out p grid in
+    let g i = gain i -. level in
+    let rec scan i =
+      if i >= npts - 1 then
+        if npts > 0 && g (npts - 1) = 0. then Some grid.(npts - 1) else None
+      else begin
+        let ga = g i and gb = g (i + 1) in
+        if ga = 0. then Some grid.(i)
         else if ga *. gb < 0. then begin
-          let h lf = g (10. ** lf) in
+          let h lf = gain_at ~out p (10. ** lf) -. level in
           let lf =
-            Ape_util.Rootfind.brent ~tol:1e-9 h (Float.log10 a)
-              (Float.log10 b)
+            Ape_util.Rootfind.brent ~tol:1e-9 h
+              (Float.log10 grid.(i))
+              (Float.log10 grid.(i + 1))
           in
           Some (10. ** lf)
         end
-        else scan rest
-      | [ last ] -> if g last = 0. then Some last else None
-      | [] -> None
+        else scan (i + 1)
+      end
     in
-    scan grid
+    scan 0
 
   let unity_gain_frequency ?(fmin = 1.) ?(fmax = 1e10) ~out p =
     find_crossing ~fmin ~fmax ~level:1. ~out p
@@ -85,13 +112,16 @@ module Prepared = struct
         | [] -> [ freq ]
       in
       let wraps = ref 0 and prev = ref ph0 in
-      List.iter
-        (fun f ->
-          let ph = phase_at ~out p f in
+      (* The walk needs every grid point anyway — solve them blocked. *)
+      Array.iter
+        (fun s ->
+          let ph =
+            Complex.arg (Ac.voltage_prepared p s out) *. 180. /. Float.pi
+          in
           let d = ph -. !prev in
           wraps := !wraps + int_of_float (Float.round (d /. 360.));
           prev := ph)
-        grid;
+        (Ac.solve_many p (Array.of_list grid));
       !prev -. (360. *. float_of_int !wraps)
     end
 
@@ -113,7 +143,12 @@ module Prepared = struct
        refine. *)
     let n = max 16 (int_of_float (24. *. Float.log10 (fmax /. fmin))) in
     let grid = Array.of_list (Ape_util.Float_ext.logspace fmin fmax n) in
-    let gains = Array.map (fun f -> gain_at ~out p f) grid in
+    let gains =
+      (* The peak search reads the whole grid — solve it blocked. *)
+      Array.map
+        (fun s -> Complex.norm (Ac.voltage_prepared p s out))
+        (Ac.solve_many p grid)
+    in
     let peak_idx = ref 0 in
     Array.iteri (fun i g -> if g > gains.(!peak_idx) then peak_idx := i) gains;
     if !peak_idx = 0 || !peak_idx = Array.length grid - 1 then None

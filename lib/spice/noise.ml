@@ -1,10 +1,11 @@
 module N = Ape_circuit.Netlist
 module Card = Ape_process.Model_card
 module Mos = Ape_device.Mos
-module Cmat = Ape_util.Matrix.Cmat
-module Rmat = Ape_util.Matrix.Rmat
 
 type contribution = { element : string; psd : float }
+
+let c_adjoint = Ape_obs.counter "noise.adjoint_solves"
+let c_direct = Ape_obs.counter "noise.direct_solves"
 
 let four_kt = 4. *. Ape_util.Units.k_boltzmann *. 300.15
 
@@ -46,16 +47,59 @@ let noise_sources (op : Dc.op) freq =
         None)
     (N.elements op.Dc.netlist)
 
+let sorted_total contributions =
+  let total = List.fold_left (fun acc c -> acc +. c.psd) 0. contributions in
+  (total, List.sort (fun x y -> compare y.psd x.psd) contributions)
+
+(* Adjoint (reciprocity) evaluation: with y solving Aᵀy = e_out, the
+   transfer impedance of a 1 A source from node a to node b is
+   z = e_outᵀ A⁻¹ (e_b − e_a) = y(b) − y(a) — so one transposed solve
+   per frequency yields every source's transfer impedance, however many
+   sources the deck has.  The system is factored through the
+   backend-aware {!Ac.system_at}, so [--engine sparse] covers noise
+   too. *)
 let output_noise_prepared ~out ~freq p =
   let op = Ac.op p in
   let index = op.Dc.index in
-  (* G + jωC comes pre-stamped from the shared AC preparation; only the
-     per-frequency assembly and factorisation remain. *)
-  let a = Ac.matrix_at p freq in
-  let lu = Cmat.lu_factor a in
   let n = Engine.size index in
+  let sources = noise_sources op freq in
+  let y =
+    match Engine.node_id index out with
+    | None -> None
+    | Some iout ->
+      let sys = Ac.system_at p freq in
+      let e_out = Array.make n Complex.zero in
+      e_out.(iout) <- Complex.one;
+      Ape_obs.incr c_adjoint;
+      Some (Ac.system_solve_transposed sys e_out)
+  in
+  let zmag a_node b_node =
+    match y with
+    | None -> 0.
+    | Some y ->
+      let term node =
+        match Engine.node_id index node with
+        | Some i -> y.(i)
+        | None -> Complex.zero
+      in
+      Complex.norm (Complex.sub (term b_node) (term a_node))
+  in
+  sorted_total
+    (List.map
+       (fun (element, a_node, b_node, s_i) ->
+         let z = zmag a_node b_node in
+         { element; psd = s_i *. z *. z })
+       sources)
+
+(* The pre-adjoint evaluation — one direct solve per source per
+   frequency — kept as an independent reference implementation for the
+   differential test suite and the bench's solve-count comparison. *)
+let output_noise_direct_prepared ~out ~freq p =
+  let op = Ac.op p in
+  let index = op.Dc.index in
+  let n = Engine.size index in
+  let sys = Ac.system_at p freq in
   let inject a_node b_node =
-    (* Transfer impedance |v(out)| for a 1 A source from a to b. *)
     let rhs = Array.make n Complex.zero in
     (match Engine.node_id index a_node with
     | Some i -> rhs.(i) <- Complex.sub rhs.(i) Complex.one
@@ -63,21 +107,18 @@ let output_noise_prepared ~out ~freq p =
     (match Engine.node_id index b_node with
     | Some i -> rhs.(i) <- Complex.add rhs.(i) Complex.one
     | None -> ());
-    let x = Cmat.lu_solve lu rhs in
+    Ape_obs.incr c_direct;
+    let x = Ac.system_solve sys rhs in
     match Engine.node_id index out with
     | Some i -> Complex.norm x.(i)
     | None -> 0.
   in
-  let contributions =
-    List.map
-      (fun (element, a_node, b_node, s_i) ->
-        let z = inject a_node b_node in
-        { element; psd = s_i *. z *. z })
-      (noise_sources op freq)
-  in
-  let total = List.fold_left (fun acc c -> acc +. c.psd) 0. contributions in
-  ( total,
-    List.sort (fun x y -> compare y.psd x.psd) contributions )
+  sorted_total
+    (List.map
+       (fun (element, a_node, b_node, s_i) ->
+         let z = inject a_node b_node in
+         { element; psd = s_i *. z *. z })
+       (noise_sources op freq))
 
 let output_noise ~out ~freq op =
   output_noise_prepared ~out ~freq (Ac.prepare op)

@@ -3,9 +3,17 @@
     Each noisy element contributes a current-noise power spectral
     density between two terminals (resistor thermal 4kT/R; MOSFET channel
     thermal 4kT·(2/3)·gm plus 1/f flicker KF·I_D^AF/(C_ox·L_eff²·f)
-    referred to the channel); the transfer impedance from every injection
-    point to the output is obtained from one complex MNA solve per
-    source per frequency, and contributions add in power.
+    referred to the channel); contributions add in power.
+
+    Transfer impedances come from {e reciprocity}: with [y] solving the
+    adjoint system [Aᵀy = e_out], the impedance seen by a 1 A source
+    from node [a] to node [b] is [y(b) − y(a)] — one transposed solve
+    per frequency covers every source, however many the deck has
+    (counted under [noise.adjoint_solves]).  The system is factored
+    through the backend-aware {!Ac.system_at}, so [--engine sparse]
+    covers noise too.  {!output_noise_direct_prepared} keeps the
+    historical one-solve-per-source evaluation as an independent
+    reference (counted under [noise.direct_solves]).
 
     Input-referred noise divides by the circuit's own signal gain (from
     the netlist's declared AC excitation).
@@ -21,6 +29,14 @@ type contribution = {
   psd : float;  (** contribution at the output, V²/Hz *)
 }
 
+val noise_sources :
+  Dc.op ->
+  float ->
+  (string * Ape_circuit.Netlist.node * Ape_circuit.Netlist.node * float) list
+(** [(element, a, b, psd)] of every noisy element at one frequency: a
+    current-noise PSD (A²/Hz) injected from node [a] to node [b].
+    Exposed for the bench's solve-count accounting. *)
+
 val output_noise :
   out:Ape_circuit.Netlist.node ->
   freq:float ->
@@ -35,6 +51,15 @@ val output_noise_prepared :
   Ac.prepared ->
   float * contribution list
 (** {!output_noise} on a shared preparation. *)
+
+val output_noise_direct_prepared :
+  out:Ape_circuit.Netlist.node ->
+  freq:float ->
+  Ac.prepared ->
+  float * contribution list
+(** Reference evaluation with one direct solve per source instead of
+    the single adjoint solve; agrees with {!output_noise_prepared} to
+    rounding (the differential suite pins ≤ 1e-10 relative). *)
 
 val input_referred :
   out:Ape_circuit.Netlist.node -> freq:float -> Dc.op -> float

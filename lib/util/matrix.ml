@@ -323,4 +323,39 @@ module Csplit = struct
     done;
     Array.init n (fun i -> { Complex.re = yre.(i); im = yim.(i) })
     end
+
+  (* Solve Aᵀy = b with the factorisation of A.  With PA = LU the
+     transposed system is Uᵀ(Lᵀ(Py)) = b: run Uᵀ forward (row i of Uᵀ
+     is column i of U, divide by the diagonal), Lᵀ backward (unit
+     diagonal), then undo the row permutation on the way out. *)
+  let solve_transposed m perm (b : Complex.t array) =
+    let n = m.n in
+    if Array.length b <> n then invalid_arg "Matrix.Csplit.solve_transposed";
+    if n = 0 then [||]
+    else begin
+      let yre = Array.init n (fun i -> b.(i).Complex.re) in
+      let yim = Array.init n (fun i -> b.(i).Complex.im) in
+      for i = 0 to n - 1 do
+        for j = 0 to i - 1 do
+          let are = m.re.(j).(i) and aim = m.im.(j).(i) in
+          yre.(i) <- yre.(i) -. ((are *. yre.(j)) -. (aim *. yim.(j)));
+          yim.(i) <- yim.(i) -. ((are *. yim.(j)) +. (aim *. yre.(j)))
+        done;
+        let re, im = cdiv yre.(i) yim.(i) m.re.(i).(i) m.im.(i).(i) in
+        yre.(i) <- re;
+        yim.(i) <- im
+      done;
+      for i = n - 1 downto 0 do
+        for j = i + 1 to n - 1 do
+          let are = m.re.(j).(i) and aim = m.im.(j).(i) in
+          yre.(i) <- yre.(i) -. ((are *. yre.(j)) -. (aim *. yim.(j)));
+          yim.(i) <- yim.(i) -. ((are *. yim.(j)) +. (aim *. yre.(j)))
+        done
+      done;
+      let y = Array.make n Complex.zero in
+      for i = 0 to n - 1 do
+        y.(perm.(i)) <- { Complex.re = yre.(i); im = yim.(i) }
+      done;
+      y
+    end
 end

@@ -137,4 +137,9 @@ module Csplit : sig
   val solve : t -> int array -> Complex.t array -> Complex.t array
   (** [solve m perm b] with [m] holding the factors from
       {!factor_in_place} and [perm] its pivot record. *)
+
+  val solve_transposed : t -> int array -> Complex.t array -> Complex.t array
+  (** [solve_transposed m perm b] returns [y] with [Aᵀ y = b] from the
+      same factors — the dense reference for adjoint (reciprocity)
+      analyses; no transposed factorisation needed. *)
 end

@@ -19,10 +19,16 @@ let refactor_tau = 1e-6
 let c_symbolic = Ape_obs.counter "sparse.symbolic"
 let c_refactor = Ape_obs.counter "sparse.refactor"
 let c_unstable = Ape_obs.counter "sparse.refactor_unstable"
+let c_panel_refactor = Ape_obs.counter "sparse.panel_refactor"
 let g_nnz = Ape_obs.gauge "sparse.nnz"
 let g_fill = Ape_obs.gauge "sparse.fill_ratio"
 
 type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Static alias so unchecked accesses below are direct full applications
+   of the primitive (the compiler only emits the intrinsic — rather than
+   a closure call that boxes every float — for those). *)
+module A1 = Bigarray.Array1
 
 let fcreate n : farr =
   let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
@@ -427,6 +433,38 @@ module Real = struct
       x.(f.q.(jj)) <- y.(jj)
     done;
     x
+
+  (* Solve Aᵀy = b with the factorisation of A.  Writing the permuted
+     system as Â = P A Qᵀ = L U, the transposed solve runs Uᵀ forward
+     (U columns gather instead of scatter, divide by the diagonal) and
+     Lᵀ backward (unit diagonal), with the roles of the two
+     permutations swapped relative to [solve]. *)
+  let solve_transposed f b =
+    let n = f.f_pat.n in
+    if Array.length b <> n then invalid_arg "Sparse.Real.solve_transposed";
+    let y = Array.make (max n 1) 0. in
+    for jj = 0 to n - 1 do
+      y.(jj) <- b.(f.q.(jj))
+    done;
+    for j = 0 to n - 1 do
+      let acc = ref y.(j) in
+      for t = f.up.(j) to f.up.(j + 1) - 1 do
+        acc := !acc -. (f.ux.{t} *. y.(f.ui.(t)))
+      done;
+      y.(j) <- !acc /. f.udiag.{j}
+    done;
+    for j = n - 1 downto 0 do
+      let acc = ref y.(j) in
+      for t = f.lp.(j) to f.lp.(j + 1) - 1 do
+        acc := !acc -. (f.lx.{t} *. y.(f.li.(t)))
+      done;
+      y.(j) <- !acc
+    done;
+    let x = Array.make n 0. in
+    for i = 0 to n - 1 do
+      x.(i) <- y.(f.pinv.(i))
+    done;
+    x
 end
 
 (* ------------------------------------------------------------------ *)
@@ -690,4 +728,365 @@ module Csplit = struct
       x.(f.q.(jj)) <- { Complex.re = yre.(jj); im = yim.(jj) }
     done;
     x
+
+  (* Solve Aᵀy = b with the factorisation of A — the reciprocity
+     workhorse: one transposed solve against the output selector gives
+     the transfer impedance from *every* injection site at once.  Same
+     permutation bookkeeping as [Real.solve_transposed]. *)
+  let solve_transposed f (b : Complex.t array) =
+    let n = f.f_pat.n in
+    if Array.length b <> n then invalid_arg "Sparse.Csplit.solve_transposed";
+    let yre = Array.make (max n 1) 0. and yim = Array.make (max n 1) 0. in
+    for jj = 0 to n - 1 do
+      yre.(jj) <- b.(f.q.(jj)).Complex.re;
+      yim.(jj) <- b.(f.q.(jj)).Complex.im
+    done;
+    (* Forward with Uᵀ: U columns gather, then divide by the diagonal. *)
+    for j = 0 to n - 1 do
+      let accre = ref yre.(j) and accim = ref yim.(j) in
+      for t = f.up.(j) to f.up.(j + 1) - 1 do
+        let r = f.ui.(t) in
+        let ur = f.uxre.{t} and ui_ = f.uxim.{t} in
+        accre := !accre -. ((ur *. yre.(r)) -. (ui_ *. yim.(r)));
+        accim := !accim -. ((ur *. yim.(r)) +. (ui_ *. yre.(r)))
+      done;
+      let xr, xi_ = cdiv !accre !accim f.udre.{j} f.udim.{j} in
+      yre.(j) <- xr;
+      yim.(j) <- xi_
+    done;
+    (* Backward with Lᵀ (unit diagonal). *)
+    for j = n - 1 downto 0 do
+      let accre = ref yre.(j) and accim = ref yim.(j) in
+      for t = f.lp.(j) to f.lp.(j + 1) - 1 do
+        let r = f.li.(t) in
+        let lr = f.lxre.{t} and li_ = f.lxim.{t} in
+        accre := !accre -. ((lr *. yre.(r)) -. (li_ *. yim.(r)));
+        accim := !accim -. ((lr *. yim.(r)) +. (li_ *. yre.(r)))
+      done;
+      yre.(j) <- !accre;
+      yim.(j) <- !accim
+    done;
+    let x = Array.make n Complex.zero in
+    for i = 0 to n - 1 do
+      x.(i) <- { Complex.re = yre.(f.pinv.(i)); im = yim.(f.pinv.(i)) }
+    done;
+    x
+
+  (* ---------------------------------------------------------------- *)
+  (* Frequency panels                                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  (* A panel carries the numeric values of K systems that share one
+     pattern and one frozen pivot sequence, laid out slot-major with
+     lane stride K (structure of arrays): the value of slot [s] in lane
+     [kk] lives at [s*K + kk].  One traversal of the symbolic structure
+     then refactors and solves all K lanes — the index arithmetic is
+     amortised and the inner loop is a contiguous stride-K stream.
+     Lanes never mix arithmetically, so each lane reproduces the scalar
+     [refactor]/[solve] floating-point sequence bit for bit; a lane
+     whose frozen pivot fails the stability test is marked bad and the
+     caller re-solves just that lane through the scalar path. *)
+  module Panel = struct
+    type vals = {
+      v_pat : pattern;
+      vk : int;  (* physical lane count (the stride) *)
+      mutable vm : int;  (* lanes in use, <= vk *)
+      vre : farr;  (* nnz * vk *)
+      vim : farr;
+    }
+
+    let create pat ~k =
+      if k < 1 then invalid_arg "Sparse.Csplit.Panel.create";
+      { v_pat = pat; vk = k; vm = k;
+        vre = fcreate (nnz pat * k); vim = fcreate (nnz pat * k) }
+
+    let width v = v.vk
+    let lanes v = v.vm
+
+    let use_lanes v m =
+      if m < 1 || m > v.vk then invalid_arg "Sparse.Csplit.Panel.use_lanes";
+      v.vm <- m
+
+    let set_slot v s ~lane re im =
+      if lane < 0 || lane >= v.vk then invalid_arg "Sparse.Csplit.Panel.set_slot";
+      v.vre.{(s * v.vk) + lane} <- re;
+      v.vim.{(s * v.vk) + lane} <- im
+
+    (* The kernels below use unchecked loads and stores: every index is
+       derived from the factor's own pattern arrays (colptr/rowind/lp/
+       li/up/ui all bounded by construction) scaled by the width the
+       entry checks pin down, so the bounds are invariants, not inputs.
+       On a non-flambda compiler the checked [.{}] form costs a compare
+       and branch per access — in these stride-[k] streams that is most
+       of the runtime. *)
+
+    let assemble_gc v ~(g : Real.t) ~(c : Real.t) ~omegas =
+      if g.Real.pat != v.v_pat || c.Real.pat != v.v_pat then
+        invalid_arg "Sparse.Csplit.Panel.assemble_gc: pattern mismatch";
+      let m = Array.length omegas in
+      if m < 1 || m > v.vk then
+        invalid_arg "Sparse.Csplit.Panel.assemble_gc: lane count";
+      v.vm <- m;
+      let k = v.vk in
+      let gv = g.Real.v and cv = c.Real.v in
+      let vre = v.vre and vim = v.vim in
+      for s = 0 to nnz v.v_pat - 1 do
+        let gs = A1.unsafe_get gv s and cs = A1.unsafe_get cv s in
+        let base = s * k in
+        for kk = 0 to m - 1 do
+          A1.unsafe_set vre (base + kk) gs;
+          A1.unsafe_set vim (base + kk) (Array.unsafe_get omegas kk *. cs)
+        done
+      done
+
+    type pfactor = {
+      base : factor;  (* symbolic skeleton: q/pinv/lp/li/up/ui, read-only *)
+      pk : int;
+      mutable pm : int;
+      plre : farr;  (* lnz * pk *)
+      plim : farr;
+      puxre : farr;  (* |ui| * pk *)
+      puxim : farr;
+      pudre : farr;  (* n * pk *)
+      pudim : farr;
+      pwre : farr;  (* n * pk elimination / solve workspace *)
+      pwim : farr;
+      pok : bool array;  (* pk; lane passed every pivot-stability test *)
+    }
+
+    let prepare (f : factor) ~k =
+      if k < 1 then invalid_arg "Sparse.Csplit.Panel.prepare";
+      let n = f.f_pat.n in
+      { base = f; pk = k; pm = k;
+        plre = fcreate (Array.length f.li * k);
+        plim = fcreate (Array.length f.li * k);
+        puxre = fcreate (Array.length f.ui * k);
+        puxim = fcreate (Array.length f.ui * k);
+        pudre = fcreate (n * k); pudim = fcreate (n * k);
+        pwre = fcreate (n * k); pwim = fcreate (n * k);
+        pok = Array.make k true }
+
+    let ok pf kk = pf.pok.(kk)
+
+    (* One symbolic traversal, K numeric refactorisations.  The lane
+       loop is innermost at every arithmetic site, so per-lane values
+       replay the exact scalar [refactor] operation sequence.  A lane
+       that trips the stability test just drops its [pok] flag — its
+       arithmetic keeps running (possibly to inf/nan) but can never
+       leak into another lane. *)
+    let refactor pf (v : vals) =
+      let f = pf.base in
+      if f.f_pat != v.v_pat then
+        invalid_arg "Sparse.Csplit.Panel.refactor: pattern mismatch";
+      if v.vk <> pf.pk then
+        invalid_arg "Sparse.Csplit.Panel.refactor: width mismatch";
+      Ape_obs.incr c_panel_refactor;
+      let m = v.vm in
+      pf.pm <- m;
+      for kk = 0 to pf.pk - 1 do
+        pf.pok.(kk) <- kk < m
+      done;
+      let pat = f.f_pat in
+      let n = pat.n in
+      let k = pf.pk in
+      let wre = pf.pwre and wim = pf.pwim in
+      let plre = pf.plre and plim = pf.plim in
+      let puxre = pf.puxre and puxim = pf.puxim in
+      let pudre = pf.pudre and pudim = pf.pudim in
+      let vre = v.vre and vim = v.vim in
+      let q = f.q and pinv = f.pinv in
+      let lp = f.lp and li = f.li and up = f.up and ui = f.ui in
+      let colptr = pat.colptr and rowind = pat.rowind in
+      let pok = pf.pok in
+      for jj = 0 to n - 1 do
+        let col = Array.unsafe_get q jj in
+        let up0 = Array.unsafe_get up jj and up1 = Array.unsafe_get up (jj + 1) in
+        let lp0 = Array.unsafe_get lp jj and lp1 = Array.unsafe_get lp (jj + 1) in
+        let jb = jj * k in
+        for kk = 0 to m - 1 do
+          A1.unsafe_set wre (jb + kk) 0.;
+          A1.unsafe_set wim (jb + kk) 0.
+        done;
+        for t = up0 to up1 - 1 do
+          let b = Array.unsafe_get ui t * k in
+          for kk = 0 to m - 1 do
+            A1.unsafe_set wre (b + kk) 0.;
+            A1.unsafe_set wim (b + kk) 0.
+          done
+        done;
+        for t = lp0 to lp1 - 1 do
+          let b = Array.unsafe_get li t * k in
+          for kk = 0 to m - 1 do
+            A1.unsafe_set wre (b + kk) 0.;
+            A1.unsafe_set wim (b + kk) 0.
+          done
+        done;
+        for s = Array.unsafe_get colptr col to Array.unsafe_get colptr (col + 1) - 1 do
+          let rb = Array.unsafe_get pinv (Array.unsafe_get rowind s) * k and sb = s * k in
+          for kk = 0 to m - 1 do
+            A1.unsafe_set wre (rb + kk) (A1.unsafe_get vre (sb + kk));
+            A1.unsafe_set wim (rb + kk) (A1.unsafe_get vim (sb + kk))
+          done
+        done;
+        for t = up0 to up1 - 1 do
+          let kc = Array.unsafe_get ui t in
+          let kb = kc * k and tb = t * k in
+          for kk = 0 to m - 1 do
+            A1.unsafe_set puxre (tb + kk) (A1.unsafe_get wre (kb + kk));
+            A1.unsafe_set puxim (tb + kk) (A1.unsafe_get wim (kb + kk))
+          done;
+          for tt = Array.unsafe_get lp kc to Array.unsafe_get lp (kc + 1) - 1 do
+            let rb = Array.unsafe_get li tt * k and ttb = tt * k in
+            for kk = 0 to m - 1 do
+              let xr = A1.unsafe_get wre (kb + kk) and xi_ = A1.unsafe_get wim (kb + kk) in
+              let lr = A1.unsafe_get plre (ttb + kk) and li_ = A1.unsafe_get plim (ttb + kk) in
+              A1.unsafe_set wre (rb + kk)
+                (A1.unsafe_get wre (rb + kk) -. ((lr *. xr) -. (li_ *. xi_)));
+              A1.unsafe_set wim (rb + kk)
+                (A1.unsafe_get wim (rb + kk) -. ((lr *. xi_) +. (li_ *. xr)))
+            done
+          done
+        done;
+        (* Stability, decided exactly as the scalar [refactor] does but
+           with a conservative screen first: max(|re|,|im|) bounds the
+           pivot magnitude from below and |re|+|im| bounds any column
+           entry from above, so a pivot that passes on those bounds
+           passes the hypot test a fortiori — the two libm hypots per
+           eliminated entry only run for pivots near the threshold
+           (where both tests agree by construction). *)
+        for kk = 0 to m - 1 do
+          if Array.unsafe_get pok kk then begin
+            let pr = A1.unsafe_get wre (jb + kk) and pi = A1.unsafe_get wim (jb + kk) in
+            let piv_lo = Float.max (Float.abs pr) (Float.abs pi) in
+            let col_hi = ref 0. in
+            for t = lp0 to lp1 - 1 do
+              let rb = Array.unsafe_get li t * k in
+              let s =
+                Float.abs (A1.unsafe_get wre (rb + kk)) +. Float.abs (A1.unsafe_get wim (rb + kk))
+              in
+              if s > !col_hi then col_hi := s
+            done;
+            if not (piv_lo >= 1e-300 && piv_lo >= refactor_tau *. !col_hi)
+            then begin
+              let apiv = Float.hypot pr pi in
+              if apiv < 1e-300 then Array.unsafe_set pok kk false
+              else begin
+                let colmax = ref apiv in
+                for t = lp0 to lp1 - 1 do
+                  let rb = Array.unsafe_get li t * k in
+                  let mgn =
+                    Float.hypot (A1.unsafe_get wre (rb + kk)) (A1.unsafe_get wim (rb + kk))
+                  in
+                  if mgn > !colmax then colmax := mgn
+                done;
+                if apiv < refactor_tau *. !colmax then
+                  Array.unsafe_set pok kk false
+              end
+            end
+          end
+        done;
+        for kk = 0 to m - 1 do
+          A1.unsafe_set pudre (jb + kk) (A1.unsafe_get wre (jb + kk));
+          A1.unsafe_set pudim (jb + kk) (A1.unsafe_get wim (jb + kk))
+        done;
+        for t = lp0 to lp1 - 1 do
+          let rb = Array.unsafe_get li t * k and tb = t * k in
+          for kk = 0 to m - 1 do
+            (* [cdiv] inlined (same Smith's-algorithm operation order)
+               to keep the tuple it returns off the minor heap. *)
+            let xre = A1.unsafe_get wre (rb + kk) and xim = A1.unsafe_get wim (rb + kk) in
+            let yre = A1.unsafe_get pudre (jb + kk) and yim = A1.unsafe_get pudim (jb + kk) in
+            if Float.abs yre >= Float.abs yim then begin
+              let r = yim /. yre in
+              let d = yre +. (r *. yim) in
+              A1.unsafe_set plre (tb + kk) ((xre +. (r *. xim)) /. d);
+              A1.unsafe_set plim (tb + kk) ((xim -. (r *. xre)) /. d)
+            end
+            else begin
+              let r = yre /. yim in
+              let d = yim +. (r *. yre) in
+              A1.unsafe_set plre (tb + kk) (((r *. xre) +. xim) /. d);
+              A1.unsafe_set plim (tb + kk) (((r *. xim) -. xre) /. d)
+            end
+          done
+        done
+      done
+
+    (* K triangular solves of one shared right-hand side; returns one
+       solution vector per lane (bad lanes return garbage — check
+       [ok]). *)
+    let solve pf (b : Complex.t array) =
+      let f = pf.base in
+      let n = f.f_pat.n in
+      if Array.length b <> n then invalid_arg "Sparse.Csplit.Panel.solve";
+      let k = pf.pk and m = pf.pm in
+      let yre = pf.pwre and yim = pf.pwim in
+      let plre = pf.plre and plim = pf.plim in
+      let puxre = pf.puxre and puxim = pf.puxim in
+      let pudre = pf.pudre and pudim = pf.pudim in
+      let q = f.q and pinv = f.pinv in
+      let lp = f.lp and li = f.li and up = f.up and ui = f.ui in
+      for i = 0 to n - 1 do
+        let rb = Array.unsafe_get pinv i * k in
+        let bi = Array.unsafe_get b i in
+        let re = bi.Complex.re and im = bi.Complex.im in
+        for kk = 0 to m - 1 do
+          A1.unsafe_set yre (rb + kk) re;
+          A1.unsafe_set yim (rb + kk) im
+        done
+      done;
+      for j = 0 to n - 1 do
+        let jb = j * k in
+        for t = Array.unsafe_get lp j to Array.unsafe_get lp (j + 1) - 1 do
+          let rb = Array.unsafe_get li t * k and tb = t * k in
+          for kk = 0 to m - 1 do
+            let xr = A1.unsafe_get yre (jb + kk) and xi_ = A1.unsafe_get yim (jb + kk) in
+            let lr = A1.unsafe_get plre (tb + kk) and li_ = A1.unsafe_get plim (tb + kk) in
+            A1.unsafe_set yre (rb + kk)
+              (A1.unsafe_get yre (rb + kk) -. ((lr *. xr) -. (li_ *. xi_)));
+            A1.unsafe_set yim (rb + kk)
+              (A1.unsafe_get yim (rb + kk) -. ((lr *. xi_) +. (li_ *. xr)))
+          done
+        done
+      done;
+      for j = n - 1 downto 0 do
+        let jb = j * k in
+        for kk = 0 to m - 1 do
+          (* [cdiv] inlined, as in [refactor]. *)
+          let xre = A1.unsafe_get yre (jb + kk) and xim = A1.unsafe_get yim (jb + kk) in
+          let yre_ = A1.unsafe_get pudre (jb + kk) and yim_ = A1.unsafe_get pudim (jb + kk) in
+          if Float.abs yre_ >= Float.abs yim_ then begin
+            let r = yim_ /. yre_ in
+            let d = yre_ +. (r *. yim_) in
+            A1.unsafe_set yre (jb + kk) ((xre +. (r *. xim)) /. d);
+            A1.unsafe_set yim (jb + kk) ((xim -. (r *. xre)) /. d)
+          end
+          else begin
+            let r = yre_ /. yim_ in
+            let d = yim_ +. (r *. yre_) in
+            A1.unsafe_set yre (jb + kk) (((r *. xre) +. xim) /. d);
+            A1.unsafe_set yim (jb + kk) (((r *. xim) -. xre) /. d)
+          end
+        done;
+        for t = Array.unsafe_get up j to Array.unsafe_get up (j + 1) - 1 do
+          let rb = Array.unsafe_get ui t * k and tb = t * k in
+          for kk = 0 to m - 1 do
+            let xr = A1.unsafe_get yre (jb + kk) and xi_ = A1.unsafe_get yim (jb + kk) in
+            let ur = A1.unsafe_get puxre (tb + kk) and ui_ = A1.unsafe_get puxim (tb + kk) in
+            A1.unsafe_set yre (rb + kk)
+              (A1.unsafe_get yre (rb + kk) -. ((ur *. xr) -. (ui_ *. xi_)));
+            A1.unsafe_set yim (rb + kk)
+              (A1.unsafe_get yim (rb + kk) -. ((ur *. xi_) +. (ui_ *. xr)))
+          done
+        done
+      done;
+      Array.init m (fun kk ->
+          let x = Array.make n Complex.zero in
+          for jj = 0 to n - 1 do
+            x.(Array.unsafe_get q jj) <-
+              { Complex.re = A1.unsafe_get yre ((jj * k) + kk);
+                im = A1.unsafe_get yim ((jj * k) + kk) }
+          done;
+          x)
+  end
 end

@@ -102,6 +102,10 @@ module Real : sig
   (** [solve f b] returns [x] with [A x = b] for the last
       (re)factorised values.  [b] is not modified. *)
 
+  val solve_transposed : factor -> float array -> float array
+  (** [solve_transposed f b] returns [y] with [Aᵀ y = b] for the last
+      (re)factorised values — no transposed factorisation needed. *)
+
   val clone : factor -> factor
   (** Copy the mutable numeric storage, sharing the immutable symbolic
       skeleton — gives an independent workspace for another domain whose
@@ -136,9 +140,73 @@ module Csplit : sig
   val factor : t -> factor
   val refactor : factor -> t -> unit
   val solve : factor -> Complex.t array -> Complex.t array
+
+  val solve_transposed : factor -> Complex.t array -> Complex.t array
+  (** [solve_transposed f b] returns [y] with [Aᵀ y = b] for the last
+      (re)factorised values.  This is the reciprocity workhorse: one
+      transposed solve against an output selector [e_out] yields the
+      transfer impedance from {e every} injection site to the output at
+      once (adjoint noise analysis). *)
+
   val clone : factor -> factor
   val lnz : factor -> int
   val unz : factor -> int
+
+  (** Frequency panels: the numeric values of K same-pattern systems in
+      a slot-major, lane-stride-K structure-of-arrays layout, refactored
+      and solved by {e one} traversal of the frozen symbolic structure.
+      Lanes never mix arithmetically, so each lane's result is bitwise
+      identical to the scalar {!refactor}/{!solve} path; a lane whose
+      frozen pivot goes degenerate is flagged via {!Panel.ok} instead of
+      raising, leaving the other lanes valid. *)
+  module Panel : sig
+    type vals
+    (** K value sets over one shared pattern. *)
+
+    val create : pattern -> k:int -> vals
+    (** [create pat ~k] allocates a panel of physical width [k >= 1]. *)
+
+    val width : vals -> int
+    (** Physical lane count (the allocation stride). *)
+
+    val lanes : vals -> int
+    (** Lanes currently in use (set by {!assemble_gc}/{!use_lanes}). *)
+
+    val use_lanes : vals -> int -> unit
+    (** Narrow the active lane count for a final partial panel. *)
+
+    val set_slot : vals -> int -> lane:int -> float -> float -> unit
+    (** [set_slot v s ~lane re im] writes one slot of one lane (tests
+        and bespoke assemblies; the sweep uses {!assemble_gc}). *)
+
+    val assemble_gc : vals -> g:Real.t -> c:Real.t -> omegas:float array -> unit
+    (** Per-lane AC fill: lane [kk] gets [re(s) = g(s)],
+        [im(s) = omegas.(kk) *. c(s)]; sets the active lane count to
+        [Array.length omegas] (which must be in [1..width]). *)
+
+    type pfactor
+    (** Panel numeric storage bound to one scalar {!factor}'s symbolic
+        skeleton. *)
+
+    val prepare : factor -> k:int -> pfactor
+    (** Allocate panel L/U/workspace storage replaying [factor]'s pivot
+        sequence over [k] lanes. *)
+
+    val refactor : pfactor -> vals -> unit
+    (** One symbolic traversal, K numeric refactorisations.  Never
+        raises on a degenerate lane — the lane is excluded from
+        {!ok} and the caller re-solves it through the scalar path. *)
+
+    val solve : pfactor -> Complex.t array -> Complex.t array array
+    (** [solve pf b] solves all active lanes against the shared
+        right-hand side [b]; element [kk] is lane [kk]'s solution
+        (garbage when [ok pf kk] is false). *)
+
+    val ok : pfactor -> int -> bool
+    (** Whether lane [kk] of the last {!refactor} passed every
+        pivot-stability test (mirrors the scalar path's
+        {!Unstable}/{!Singular} conditions exactly). *)
+  end
 end
 
 val min_degree : pattern -> int array

@@ -293,6 +293,166 @@ let prop_csplit_matches_cmat =
         x_dense;
       !worst <= 1e-10)
 
+(* ---------- frequency panels ---------- *)
+
+(* The panel contract is bit-identity, not tolerance: each lane must
+   replay the scalar refactor/solve floating-point sequence exactly, and
+   a lane must drop its [ok] flag precisely when the scalar replay would
+   raise.  These properties drive random MNA systems (with synthetic
+   capacitances) through both paths and compare bitwise. *)
+
+let bitwise_eq (a : Complex.t array) (b : Complex.t array) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Complex.t) (y : Complex.t) ->
+         x.Complex.re = y.Complex.re && x.Complex.im = y.Complex.im)
+       a b
+
+let prop_panel_bitwise_scalar =
+  QCheck.Test.make ~name:"panel lanes replay scalar refactor bit-for-bit"
+    ~count:150
+    (QCheck.make QCheck.Gen.(pair mna_system_gen (int_range 1 6)))
+    (fun (sys, k) ->
+      let dense, p, _ = build_mna sys in
+      let n = Rmat.rows dense in
+      let g = Sp.Real.create p and c = Sp.Real.create p in
+      Sp.iter p (fun s row col ->
+          Sp.Real.set_slot g s (Rmat.get dense row col);
+          Sp.Real.set_slot c s
+            (1e-9 *. Float.abs (Float.sin (float_of_int (s + 1)))));
+      let omegas =
+        Array.init k (fun kk -> 6.28e3 *. (7.3 ** float_of_int kk))
+      in
+      let vals = Sp.Csplit.create p in
+      Sp.Csplit.assemble_gc vals ~g ~c ~omega:omegas.(0);
+      let base = Sp.Csplit.factor vals in
+      let b =
+        Array.init n (fun i ->
+            { Complex.re = Float.sin (float_of_int (i + 1)); im = 0.25 })
+      in
+      let pv = Sp.Csplit.Panel.create p ~k in
+      Sp.Csplit.Panel.assemble_gc pv ~g ~c ~omegas;
+      let pf = Sp.Csplit.Panel.prepare base ~k in
+      Sp.Csplit.Panel.refactor pf pv;
+      let xs = Sp.Csplit.Panel.solve pf b in
+      let ok = ref true in
+      for kk = 0 to k - 1 do
+        Sp.Csplit.assemble_gc vals ~g ~c ~omega:omegas.(kk);
+        let fc = Sp.Csplit.clone base in
+        (match Sp.Csplit.refactor fc vals with
+        | exception (Sp.Unstable | Sp.Singular) ->
+          if Sp.Csplit.Panel.ok pf kk then ok := false
+        | () ->
+          if not (Sp.Csplit.Panel.ok pf kk) then ok := false
+          else if not (bitwise_eq (Sp.Csplit.solve fc b) xs.(kk)) then
+            ok := false)
+      done;
+      !ok)
+
+let test_panel_unstable_lane () =
+  (* Same 2x2 degeneration as [test_unstable_refactor], injected into
+     the middle lane of a 3-wide panel: that lane must drop its [ok]
+     flag while its neighbours still replay the scalar path exactly. *)
+  let bld = Sp.Builder.create 2 in
+  List.iter
+    (fun (r, c) -> Sp.Builder.add bld r c)
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  let p = Sp.Builder.compile bld in
+  let coords = [| (0, 0); (0, 1); (1, 0); (1, 1) |] in
+  let lane_vals =
+    [| [| 2.; 1.; 1.; 2. |];  (* good *)
+       [| 1e-20; 1.; 1.; 1. |];  (* frozen (0,0) pivot degenerates *)
+       [| 3.; 1.; 1.; 4. |] |]  (* good *)
+  in
+  let set_lane_scalar v lane =
+    Array.iteri
+      (fun i (r, c) ->
+        Sp.Csplit.set_slot v (Sp.slot p ~row:r ~col:c) lane_vals.(lane).(i) 0.)
+      coords
+  in
+  let v = Sp.Csplit.create p in
+  set_lane_scalar v 0;
+  let base = Sp.Csplit.factor v in
+  let pv = Sp.Csplit.Panel.create p ~k:3 in
+  Sp.Csplit.Panel.use_lanes pv 3;
+  Array.iteri
+    (fun lane vals ->
+      Array.iteri
+        (fun i (r, c) ->
+          Sp.Csplit.Panel.set_slot pv (Sp.slot p ~row:r ~col:c) ~lane vals.(i)
+            0.)
+        coords)
+    lane_vals;
+  let pf = Sp.Csplit.Panel.prepare base ~k:3 in
+  Sp.Csplit.Panel.refactor pf pv;
+  Alcotest.(check (list bool))
+    "ok flags" [ true; false; true ]
+    (List.init 3 (Sp.Csplit.Panel.ok pf));
+  let b = [| { Complex.re = 1.; im = 0.5 }; { Complex.re = -2.; im = 0. } |] in
+  let xs = Sp.Csplit.Panel.solve pf b in
+  List.iter
+    (fun lane ->
+      set_lane_scalar v lane;
+      let fc = Sp.Csplit.clone base in
+      Sp.Csplit.refactor fc v;
+      Alcotest.(check bool)
+        (Printf.sprintf "lane %d bitwise equals scalar replay" lane)
+        true
+        (bitwise_eq (Sp.Csplit.solve fc b) xs.(lane)))
+    [ 0; 2 ];
+  set_lane_scalar v 1;
+  Alcotest.check_raises "bad lane's values refuse the scalar replay too"
+    Sp.Unstable (fun () -> Sp.Csplit.refactor (Sp.Csplit.clone base) v)
+
+let prop_csplit_transposed =
+  QCheck.Test.make ~name:"Csplit.solve_transposed solves the adjoint system"
+    ~count:200 (QCheck.make mna_system_gen) (fun sys ->
+      let dense, p, _ = build_mna sys in
+      let n = Rmat.rows dense in
+      let a = Cmat.create n n in
+      let v = Sp.Csplit.create p in
+      Sp.iter p (fun s row col ->
+          let re = Rmat.get dense row col in
+          let im = 0.3 *. Float.sin (float_of_int (s + 2)) in
+          Cmat.set a row col { Complex.re; im };
+          Sp.Csplit.set_slot v s re im);
+      let b =
+        Array.init n (fun i ->
+            { Complex.re = Float.cos (float_of_int i); im = 0.1 })
+      in
+      let y = Sp.Csplit.solve_transposed (Sp.Csplit.factor v) b in
+      (* Residual of Aᵀy = b against the dense assembly. *)
+      let scale =
+        Array.fold_left
+          (fun acc (z : Complex.t) -> Float.max acc (Complex.norm z))
+          1e-30 b
+      in
+      let worst = ref 0. in
+      for i = 0 to n - 1 do
+        let acc = ref Complex.zero in
+        for j = 0 to n - 1 do
+          acc := Complex.add !acc (Complex.mul (Cmat.get a j i) y.(j))
+        done;
+        worst :=
+          Float.max !worst (Complex.norm (Complex.sub !acc b.(i)) /. scale)
+      done;
+      !worst <= 1e-9)
+
+let prop_real_transposed =
+  QCheck.Test.make ~name:"Real.solve_transposed solves the adjoint system"
+    ~count:200 (QCheck.make mna_system_gen) (fun sys ->
+      let dense, _, v = build_mna sys in
+      let n = Rmat.rows dense in
+      let b = Array.init n (fun i -> Float.sin (float_of_int (2 * i) +. 1.)) in
+      let y = Sp.Real.solve_transposed (Sp.Real.factor v) b in
+      let at = Rmat.create n n in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Rmat.set at i j (Rmat.get dense j i)
+        done
+      done;
+      rel_err (Rmat.solve at b) y <= 1e-9)
+
 (* ---------- golden decks: engine-switched analyses ---------- *)
 
 let golden_decks () =
@@ -374,6 +534,44 @@ let test_golden_sweep_jobs_bitwise () =
                     a.Ac.freq)
               a.Ac.x)
           s1 s3)
+    (golden_decks ())
+
+let test_golden_sweep_panel_width_bitwise () =
+  (* Whatever the panel width — including widths that leave a partial
+     trailing panel — a sparse sweep must reproduce the per-frequency
+     path bit for bit. *)
+  Backend.use Backend.Sparse @@ fun () ->
+  let freqs = Ac.sweep_frequencies ~fstart:1e2 ~fstop:1e9 () in
+  let k0 = Ac.panel_width () in
+  Fun.protect ~finally:(fun () -> Ac.set_panel_width k0) @@ fun () ->
+  List.iter
+    (fun file ->
+      match Dc.solve (parse_deck file) with
+      | exception Dc.No_convergence _ -> ()
+      | op ->
+        let p = Ac.prepare op in
+        let points k =
+          Ac.set_panel_width k;
+          (Ac.sweep_prepared p freqs).Ac.points
+        in
+        let reference = points 1 in
+        List.iter
+          (fun k ->
+            List.iter2
+              (fun (a : Ac.solution) (b : Ac.solution) ->
+                Array.iteri
+                  (fun i (u : Complex.t) ->
+                    let v = b.Ac.x.(i) in
+                    if
+                      not
+                        (u.Complex.re = v.Complex.re
+                        && u.Complex.im = v.Complex.im)
+                    then
+                      Alcotest.failf "%s: width 1 vs %d differ at %g Hz" file k
+                        a.Ac.freq)
+                  a.Ac.x)
+              reference (points k))
+          [ 3; 8; 16 ])
     (golden_decks ())
 
 let test_golden_dc_differential () =
@@ -504,14 +702,23 @@ let () =
       qsuite "differential-properties"
         [
           prop_sparse_matches_dense; prop_refactor_matches_fresh;
-          prop_csplit_matches_cmat;
+          prop_csplit_matches_cmat; prop_csplit_transposed;
+          prop_real_transposed;
         ];
+      ( "panel",
+        List.map QCheck_alcotest.to_alcotest [ prop_panel_bitwise_scalar ]
+        @ [
+            Alcotest.test_case "injected unstable lane" `Quick
+              test_panel_unstable_lane;
+          ] );
       ( "golden-decks",
         [
           Alcotest.test_case "AC sweep dense vs sparse" `Quick
             test_golden_sweep_differential;
           Alcotest.test_case "sparse sweep jobs bitwise" `Quick
             test_golden_sweep_jobs_bitwise;
+          Alcotest.test_case "sparse sweep panel width bitwise" `Quick
+            test_golden_sweep_panel_width_bitwise;
           Alcotest.test_case "DC dense vs sparse" `Quick
             test_golden_dc_differential;
         ] );

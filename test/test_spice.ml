@@ -592,6 +592,104 @@ let test_noise_flicker_rolloff () =
   Alcotest.(check bool) "flicker dominates at low frequency" true
     (mos_psd 10. > mos_psd 1e6)
 
+(* ---------- adjoint noise ---------- *)
+
+let noise_golden_ops () =
+  let dir =
+    List.find Sys.file_exists
+      [ Filename.concat "golden" "decks"; Filename.concat "test" "golden/decks" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sp")
+  |> List.sort compare
+  |> List.filter_map (fun f ->
+         let file = Filename.concat dir f in
+         let text = In_channel.with_open_text file In_channel.input_all in
+         let deck =
+           Ape_circuit.Spice_parser.parse ~process:proc ~title:file text
+         in
+         match Dc.solve deck with
+         | exception Dc.No_convergence _ -> None
+         | op ->
+           if Ape_spice.Engine.node_id op.Dc.index "out" = None then None
+           else Some (file, deck))
+
+let test_noise_adjoint_matches_direct () =
+  (* Reciprocity differential: one adjoint solve per frequency must
+     agree with the historical one-solve-per-source reference to
+     rounding, per element, on every golden deck and under both
+     engines.  1e-10 relative is ~5 orders of slack over the observed
+     worst case while still catching a misplaced transpose. *)
+  let module Backend = Ape_spice.Backend in
+  let tol = 1e-10 in
+  let checked = ref 0 in
+  List.iter
+    (fun engine ->
+      Backend.use engine @@ fun () ->
+      List.iter
+        (fun (file, deck) ->
+          let op = Dc.solve deck in
+          let prep = Ac.prepare op in
+          List.iter
+            (fun freq ->
+              incr checked;
+              let t_adj, c_adj =
+                Ape_spice.Noise.output_noise_prepared ~out:"out" ~freq prep
+              in
+              let t_dir, c_dir =
+                Ape_spice.Noise.output_noise_direct_prepared ~out:"out" ~freq
+                  prep
+              in
+              if Float.abs (t_adj -. t_dir) > tol *. Float.max t_dir 1e-300
+              then
+                Alcotest.failf "%s @ %g Hz: adjoint total %g vs direct %g" file
+                  freq t_adj t_dir;
+              Alcotest.(check int)
+                "same contribution count" (List.length c_dir)
+                (List.length c_adj);
+              List.iter
+                (fun (d : Ape_spice.Noise.contribution) ->
+                  let a =
+                    List.find
+                      (fun (a : Ape_spice.Noise.contribution) ->
+                        a.Ape_spice.Noise.element = d.Ape_spice.Noise.element)
+                      c_adj
+                  in
+                  let pd = d.Ape_spice.Noise.psd
+                  and pa = a.Ape_spice.Noise.psd in
+                  if Float.abs (pa -. pd) > tol *. Float.max pd 1e-300 then
+                    Alcotest.failf "%s @ %g Hz: %s adjoint %g vs direct %g"
+                      file freq d.Ape_spice.Noise.element pa pd)
+                c_dir)
+            [ 1e2; 1e5 ])
+        (noise_golden_ops ()))
+    [ Backend.Dense; Backend.Sparse ];
+  Alcotest.(check bool) "checked several decks" true (!checked >= 6)
+
+let test_noise_sparse_engine_counters () =
+  (* Regression for the engine split: under the sparse backend, noise
+     must factor through the sparse refactor path — exactly one adjoint
+     solve per frequency, sparse counters ticking, and no dense LU. *)
+  let module Backend = Ape_spice.Backend in
+  Backend.use Backend.Sparse @@ fun () ->
+  let file, deck = List.hd (noise_golden_ops ()) in
+  ignore file;
+  let op = Dc.solve deck in
+  let prep = Ac.prepare op in
+  Ape_obs.enable ();
+  Ape_obs.reset ();
+  ignore (Ape_spice.Noise.output_noise_prepared ~out:"out" ~freq:1e3 prep);
+  let snap = Ape_obs.snapshot () in
+  Ape_obs.disable ();
+  let c name =
+    Option.value ~default:0 (List.assoc_opt name snap.Ape_obs.counters)
+  in
+  Alcotest.(check int) "one adjoint solve" 1 (c "noise.adjoint_solves");
+  Alcotest.(check bool) "sparse refactor ticked" true (c "sparse.refactor" > 0);
+  Alcotest.(check int) "no dense LU" 0
+    (c "matrix.lu_factor" + c "matrix.lu_factor_in_place"
+    + c "matrix.csplit_factor")
+
 (* ---------- dc sweep ---------- *)
 
 let test_sweep_transfer () =
@@ -1040,6 +1138,10 @@ let () =
             test_noise_flicker_rolloff;
           Alcotest.test_case "input-referred divider" `Quick
             test_noise_input_referred_divider;
+          Alcotest.test_case "adjoint matches direct on golden decks" `Quick
+            test_noise_adjoint_matches_direct;
+          Alcotest.test_case "sparse engine counters during noise" `Quick
+            test_noise_sparse_engine_counters;
         ] );
       ( "sweep",
         [
